@@ -1,0 +1,323 @@
+// Command copernicus regenerates the paper's evaluation artifacts and
+// runs ad-hoc characterizations from the command line.
+//
+// Usage:
+//
+//	copernicus list                      # available experiments
+//	copernicus all [flags]               # regenerate every figure/table
+//	copernicus fig4 [flags]              # regenerate one artifact
+//	copernicus advise [flags]            # recommend a format for a matrix
+//	copernicus workloads [flags]         # describe the workload suites
+//
+// Flags:
+//
+//	-scale N    workload dimension cap (default 1024; 256 ≈ seconds)
+//	-csv        emit CSV instead of aligned tables
+//	-p N        partition size for advise (default 16)
+//	-kind K     matrix kind for advise: random|band|graph|stencil|circuit|ml
+//	-n N        matrix dimension for advise (default 512)
+//	-density D  density for random/ml matrices (default 0.05)
+//	-width W    band width (default 8)
+//	-seed S     generator seed (default 1)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"copernicus"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "copernicus:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("missing subcommand")
+	}
+	cmd, rest := args[0], args[1:]
+
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	scale := fs.Int("scale", 1024, "workload dimension cap")
+	csv := fs.Bool("csv", false, "emit CSV")
+	p := fs.Int("p", 16, "partition size")
+	kind := fs.String("kind", "random", "matrix kind for advise/convert/stats/scaling")
+	n := fs.Int("n", 512, "matrix dimension")
+	density := fs.Float64("density", 0.05, "density for random/ml matrices")
+	width := fs.Int("width", 8, "band width")
+	seed := fs.Uint64("seed", 1, "generator seed")
+	mtxPath := fs.String("mtx", "", "Matrix Market file to load instead of generating")
+	out := fs.String("out", "", "output path (convert)")
+	outDir := fs.String("outdir", "", "write each artifact as <id>.txt and <id>.csv into this directory")
+	lanes := fs.Int("lanes", 8, "maximum pipeline instances (scaling)")
+	format := fs.String("format", "COO", "format name (scaling/trace)")
+	tiles := fs.Int("tiles", 12, "maximum tiles to render (trace)")
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+
+	load := func() (*copernicus.Matrix, error) {
+		if *mtxPath != "" {
+			return copernicus.LoadMatrixMarket(*mtxPath)
+		}
+		return buildMatrix(*kind, *n, *density, *width, *seed)
+	}
+
+	switch cmd {
+	case "list":
+		fmt.Println("experiments:", strings.Join(copernicus.Experiments(), " "))
+		fmt.Println("extensions: ", strings.Join(copernicus.ExtExperiments(), " "))
+		return nil
+	case "ext":
+		return runExperiments(copernicus.ExtExperiments(), *scale, *csv, *outDir)
+	case "all":
+		return runExperiments(copernicus.Experiments(), *scale, *csv, *outDir)
+	case "advise":
+		m, err := load()
+		if err != nil {
+			return err
+		}
+		return advise(m, *kind, *p)
+	case "stats":
+		m, err := load()
+		if err != nil {
+			return err
+		}
+		return stats(m)
+	case "convert":
+		m, err := load()
+		if err != nil {
+			return err
+		}
+		if *out == "" {
+			return copernicus.WriteMatrixMarket(os.Stdout, m)
+		}
+		return copernicus.SaveMatrixMarket(*out, m)
+	case "scaling":
+		m, err := load()
+		if err != nil {
+			return err
+		}
+		return scaling(m, *format, *p, *lanes)
+	case "trace":
+		m, err := load()
+		if err != nil {
+			return err
+		}
+		return trace(m, *format, *p, *tiles)
+	case "workloads":
+		return describeWorkloads(*scale)
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	default:
+		for _, id := range append(copernicus.Experiments(), copernicus.ExtExperiments()...) {
+			if cmd == id {
+				return runExperiments([]string{id}, *scale, *csv, *outDir)
+			}
+		}
+		usage()
+		return fmt.Errorf("unknown subcommand %q", cmd)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: copernicus <list|all|advise|stats|convert|scaling|workloads|fig3..fig14|table2> [flags]`)
+}
+
+// buildMatrix generates a matrix of the named kind.
+func buildMatrix(kind string, n int, density float64, width int, seed uint64) (*copernicus.Matrix, error) {
+	switch kind {
+	case "random":
+		return copernicus.Random(n, density, seed), nil
+	case "band":
+		return copernicus.Band(n, width, seed), nil
+	case "graph":
+		return copernicus.ScaleFreeGraph(n, 6, seed), nil
+	case "stencil":
+		side := 1
+		for (side+1)*(side+1) <= n {
+			side++
+		}
+		return copernicus.Stencil2D(side, side, seed), nil
+	case "circuit":
+		return copernicus.Circuit(n, seed), nil
+	case "ml":
+		return copernicus.PrunedWeights(n, n, density, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown matrix kind %q", kind)
+	}
+}
+
+// stats prints the Fig. 3 statistics for one matrix.
+func stats(m *copernicus.Matrix) error {
+	fmt.Printf("matrix: %dx%d, nnz=%d, density=%.5g, bandwidth=%d\n",
+		m.Rows, m.Cols, m.NNZ(), m.Density(), m.Bandwidth())
+	fmt.Println("p   partdens%  rowdens%  nzrows%  nztiles  totaltiles")
+	for _, p := range copernicus.PartitionSizes() {
+		s := copernicus.Stats(m, p)
+		fmt.Printf("%-3d %9.2f  %8.2f  %7.2f  %7d  %10d\n",
+			p, 100*s.PartitionDensity, 100*s.RowDensity, 100*s.NonZeroRowFrac,
+			s.NonZeroTiles, s.TotalTiles)
+	}
+	return nil
+}
+
+// trace prints the per-partition pipeline timeline.
+func trace(m *copernicus.Matrix, formatName string, p, maxTiles int) error {
+	f, err := parseFormat(formatName)
+	if err != nil {
+		return err
+	}
+	traces, err := copernicus.TraceSpMV(m, f, p)
+	if err != nil {
+		return err
+	}
+	return copernicus.RenderTimeline(os.Stdout, traces, maxTiles)
+}
+
+// parseFormat resolves a format by its display name.
+func parseFormat(name string) (copernicus.Format, error) {
+	for _, k := range copernicus.AllFormats() {
+		if strings.EqualFold(k.String(), name) {
+			return k, nil
+		}
+	}
+	return -1, fmt.Errorf("unknown format %q", name)
+}
+
+// scaling sweeps coarse-grained pipeline instances (§5.1).
+func scaling(m *copernicus.Matrix, formatName string, p, maxLanes int) error {
+	f, err := parseFormat(formatName)
+	if err != nil {
+		return err
+	}
+	x := make([]float64, m.Cols)
+	for i := range x {
+		x[i] = 1
+	}
+	base, err := copernicus.SpMVParallel(m, x, f, p, 1)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("coarse-grained scaling, %v at p=%d over %d non-zero tiles:\n", f, p, base.NonZeroTiles)
+	fmt.Println("lanes  cycles       speedup  efficiency")
+	for lanes := 1; lanes <= maxLanes; lanes *= 2 {
+		r, err := copernicus.SpMVParallel(m, x, f, p, lanes)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-5d  %-11d  %6.2fx  %9.3f\n",
+			lanes, r.TotalCycles, float64(base.TotalCycles)/float64(r.TotalCycles), r.Efficiency())
+	}
+	return nil
+}
+
+func options(scale int) *copernicus.ReportOptions {
+	o := copernicus.NewReportOptions()
+	o.WL = copernicus.WorkloadConfig{Scale: scale, RandomDim: scale, BandDim: scale}
+	return o
+}
+
+func runExperiments(ids []string, scale int, csv bool, outDir string) error {
+	o := options(scale)
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
+		}
+	}
+	for _, id := range ids {
+		t, err := copernicus.RunExperiment(o, id)
+		if err != nil {
+			return err
+		}
+		if outDir != "" {
+			if err := writeArtifact(outDir, id, t); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s/%s.{txt,csv}\n", outDir, id)
+			continue
+		}
+		if csv {
+			if err := t.CSV(os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println()
+			continue
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeArtifact(dir, id string, t copernicus.ExperimentTable) error {
+	txt, err := os.Create(filepath.Join(dir, id+".txt"))
+	if err != nil {
+		return err
+	}
+	if err := t.Render(txt); err != nil {
+		txt.Close()
+		return err
+	}
+	if err := txt.Close(); err != nil {
+		return err
+	}
+	csvf, err := os.Create(filepath.Join(dir, id+".csv"))
+	if err != nil {
+		return err
+	}
+	if err := t.CSV(csvf); err != nil {
+		csvf.Close()
+		return err
+	}
+	return csvf.Close()
+}
+
+func advise(m *copernicus.Matrix, kind string, p int) error {
+	class := copernicus.Classify(m)
+	sf, alts, why := copernicus.StaticAdvice(class)
+	fmt.Printf("matrix: %s, %dx%d, nnz=%d, density=%.4g, class=%s\n",
+		kind, m.Rows, m.Cols, m.NNZ(), m.Density(), class)
+	fmt.Printf("paper §8 rule of thumb: %v (alternatives %v)\n  %s\n", sf, alts, why)
+
+	rec, err := copernicus.NewEngine().Recommend(m, p, nil, copernicus.BalancedObjective())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("measured recommendation: %s\n", rec.Reason)
+	fmt.Println("ranking (best first):")
+	for i, r := range rec.Results {
+		fmt.Printf("  %d. %-7v time=%.3es  sigma=%6.2f  balance=%5.2f  bw_util=%.3f  dyn=%4.0fmW  bram=%d\n",
+			i+1, rec.Ranking[i], r.Seconds, r.Sigma, r.BalanceRatio,
+			r.BandwidthUtil, r.Synth.DynamicW*1000, r.Synth.BRAM18K)
+	}
+	return nil
+}
+
+func describeWorkloads(scale int) error {
+	c := copernicus.WorkloadConfig{Scale: scale, RandomDim: scale, BandDim: scale}
+	fmt.Println("SuiteSparse surrogates (Table 1):")
+	for _, w := range copernicus.SuiteSparseWorkloads(c) {
+		fmt.Printf("  %-2s %-18s %-26s dim=%-6d nnz=%-8d density=%.5f (paper: %.3gM x %.3gM nnz)\n",
+			w.ID, w.Name, w.Kind, w.M.Rows, w.M.NNZ(), w.Density(), w.PaperDim, w.PaperNNZ)
+	}
+	fmt.Println("Random suite:")
+	for _, w := range copernicus.RandomWorkloads(c) {
+		fmt.Printf("  %-8s dim=%-6d nnz=%-8d density=%.5f\n", w.ID, w.M.Rows, w.M.NNZ(), w.Density())
+	}
+	fmt.Println("Band suite:")
+	for _, w := range copernicus.BandWorkloads(c) {
+		fmt.Printf("  %-8s dim=%-6d nnz=%-8d bandwidth=%d\n", w.ID, w.M.Rows, w.M.NNZ(), w.M.Bandwidth())
+	}
+	return nil
+}

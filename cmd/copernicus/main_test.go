@@ -1,0 +1,140 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// silence redirects stdout to /dev/null for the duration of a test so
+// subcommand output does not pollute the test log.
+func silence(t *testing.T) {
+	t.Helper()
+	old := os.Stdout
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = null
+	t.Cleanup(func() {
+		os.Stdout = old
+		null.Close()
+	})
+}
+
+func TestRunList(t *testing.T) {
+	silence(t)
+	if err := run([]string{"list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunNoArgs(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("missing subcommand accepted")
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if err := run([]string{"bogus"}); err == nil {
+		t.Fatal("unknown subcommand accepted")
+	}
+}
+
+func TestRunSingleExperimentSmall(t *testing.T) {
+	silence(t)
+	if err := run([]string{"table2", "-scale", "64"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"fig11", "-scale", "64", "-csv"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAdviseKinds(t *testing.T) {
+	silence(t)
+	for _, kind := range []string{"random", "band", "graph", "stencil", "circuit", "ml"} {
+		if err := run([]string{"advise", "-kind", kind, "-n", "128"}); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+	}
+	if err := run([]string{"advise", "-kind", "nope", "-n", "64"}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestRunStats(t *testing.T) {
+	silence(t)
+	if err := run([]string{"stats", "-kind", "band", "-n", "128", "-width", "4"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunScaling(t *testing.T) {
+	silence(t)
+	if err := run([]string{"scaling", "-kind", "random", "-n", "128", "-format", "COO", "-lanes", "4"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"scaling", "-format", "NOPE", "-n", "64"}); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+func TestRunConvertAndLoad(t *testing.T) {
+	silence(t)
+	path := filepath.Join(t.TempDir(), "m.mtx")
+	if err := run([]string{"convert", "-kind", "circuit", "-n", "100", "-out", path}); err != nil {
+		t.Fatal(err)
+	}
+	// Round-trip through the -mtx flag.
+	if err := run([]string{"stats", "-mtx", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"advise", "-mtx", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"stats", "-mtx", "/nonexistent/file.mtx"}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestRunTrace(t *testing.T) {
+	silence(t)
+	if err := run([]string{"trace", "-kind", "band", "-n", "64", "-width", "4", "-format", "DIA", "-tiles", "6"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"trace", "-format", "NOPE", "-n", "32"}); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+func TestRunOutDir(t *testing.T) {
+	silence(t)
+	dir := filepath.Join(t.TempDir(), "artifacts")
+	if err := run([]string{"table2", "-scale", "64", "-outdir", dir}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"table2.txt", "table2.csv"} {
+		info, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if info.Size() == 0 {
+			t.Fatalf("%s is empty", name)
+		}
+	}
+}
+
+func TestRunWorkloads(t *testing.T) {
+	silence(t)
+	if err := run([]string{"workloads", "-scale", "128"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunHelp(t *testing.T) {
+	silence(t)
+	if err := run([]string{"help"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,409 @@
+// Package copernicus is a from-scratch Go reproduction of "Copernicus:
+// Characterizing the Performance Implications of Compression Formats Used
+// in Sparse Workloads" (Asgari et al., IISWC 2021).
+//
+// The library characterizes how sparse compression formats — CSR, CSC,
+// BCSR, COO, DOK, LIL, ELL, DIA, and the ELL-variant extensions SELL,
+// ELL+COO and JDS — behave on a streaming SpMV accelerator: how much
+// latency their decompression adds (σ), whether they leave the pipeline
+// memory- or compute-bound (balance ratio), what throughput and
+// memory-bandwidth utilization they reach, and what FPGA resources and
+// power their decompressors cost. The accelerator is a deterministic
+// cycle-level model of the paper's HLS design (see internal/hlsim and
+// DESIGN.md for the substitution rationale); every simulated SpMV is
+// functionally verified against a software reference.
+//
+// Quick start:
+//
+//	m := copernicus.Random(1024, 0.01, 42)
+//	res, err := copernicus.Characterize(m, copernicus.COO, 16)
+//	// res.Sigma, res.ThroughputBps, res.BandwidthUtil, res.Synth ...
+//
+// For format selection on a concrete matrix:
+//
+//	rec, err := copernicus.NewEngine().Recommend(m, 16, nil, copernicus.BalancedObjective())
+//
+// To regenerate a paper artifact:
+//
+//	tab, err := copernicus.RunExperiment(copernicus.NewReportOptions(), "fig4")
+//	tab.Render(os.Stdout)
+package copernicus
+
+import (
+	"io"
+	"os"
+
+	"copernicus/internal/core"
+	"copernicus/internal/formats"
+	"copernicus/internal/gen"
+	"copernicus/internal/hlsim"
+	"copernicus/internal/kernels"
+	"copernicus/internal/matrix"
+	"copernicus/internal/mtx"
+	"copernicus/internal/report"
+	"copernicus/internal/synth"
+	"copernicus/internal/workloads"
+)
+
+// Matrix is a sparse matrix in canonical CSR form.
+type Matrix = matrix.CSR
+
+// Builder assembles a Matrix from (row, col, value) triplets.
+type Builder = matrix.Builder
+
+// Tile is one dense p×p partition of a matrix.
+type Tile = matrix.Tile
+
+// PartitionStats are the Fig. 3 per-partition statistics.
+type PartitionStats = matrix.PartitionStats
+
+// NewBuilder returns a Builder for a rows×cols matrix.
+func NewBuilder(rows, cols int) *Builder { return matrix.NewBuilder(rows, cols) }
+
+// FromDense builds a Matrix from a row-major dense slice, skipping zeros.
+func FromDense(rows, cols int, dense []float64) *Matrix {
+	return matrix.FromDense(rows, cols, dense)
+}
+
+// Stats computes the Fig. 3 partition statistics at partition size p.
+func Stats(m *Matrix, p int) PartitionStats { return matrix.StatsFor(m, p) }
+
+// NewTileFromMatrix extracts the p×p tile of m anchored at (row, col),
+// zero-padded past the matrix boundary.
+func NewTileFromMatrix(m *Matrix, row, col, p int) *Tile { return matrix.TileAt(m, row, col, p) }
+
+// Format identifies a compression format under study.
+type Format = formats.Kind
+
+// The compression formats. Dense is the σ=1 baseline.
+const (
+	Dense  = formats.Dense
+	CSR    = formats.CSR
+	CSC    = formats.CSC
+	BCSR   = formats.BCSR
+	COO    = formats.COO
+	DOK    = formats.DOK
+	LIL    = formats.LIL
+	ELL    = formats.ELL
+	DIA    = formats.DIA
+	SELL   = formats.SELL
+	ELLCOO = formats.ELLCOO
+	JDS    = formats.JDS
+	SELLCS = formats.SELLCS
+)
+
+// CoreFormats returns the paper's measured set (dense + seven sparse
+// formats) in figure order.
+func CoreFormats() []Format { return formats.Core() }
+
+// SparseFormats returns the seven studied sparse formats.
+func SparseFormats() []Format { return formats.Sparse() }
+
+// AllFormats returns every implemented format, extensions included.
+func AllFormats() []Format { return formats.All() }
+
+// Encoded is a tile compressed in some format; it can Decode back and
+// reports its transfer Footprint and structural Stats.
+type Encoded = formats.Encoded
+
+// Encode compresses one tile in the given format.
+func Encode(f Format, t *Tile) Encoded { return formats.Encode(f, t) }
+
+// Workload generators (§3). All are deterministic in their seed.
+
+// Random returns an n×n matrix with the given density (§3.2 random
+// suite).
+func Random(n int, density float64, seed uint64) *Matrix { return gen.Random(n, density, seed) }
+
+// Band returns an n×n band matrix of width k (a[i][j] = 0 if |i-j| >
+// k/2); width 1 is a diagonal matrix.
+func Band(n, width int, seed uint64) *Matrix { return gen.Band(n, width, seed) }
+
+// Diagonal returns an n×n diagonal matrix.
+func Diagonal(n int, seed uint64) *Matrix { return gen.Diagonal(n, seed) }
+
+// Stencil2D returns the 5-point finite-difference matrix of a rows×cols
+// grid (SPD; scientific-computing workloads).
+func Stencil2D(rows, cols int, seed uint64) *Matrix { return gen.Stencil2D(rows, cols, seed) }
+
+// Stencil3D returns the 7-point stencil matrix of an nx×ny×nz grid.
+func Stencil3D(nx, ny, nz int, seed uint64) *Matrix { return gen.Stencil3D(nx, ny, nz, seed) }
+
+// ScaleFreeGraph returns a preferential-attachment directed graph
+// adjacency matrix (web/social graph workloads).
+func ScaleFreeGraph(n, outDegree int, seed uint64) *Matrix {
+	return gen.PreferentialAttachment(n, outDegree, seed)
+}
+
+// RMATGraph returns a Graph500-parameter Kronecker graph of 2^scale
+// vertices.
+func RMATGraph(scale, edgeFactor int, seed uint64) *Matrix {
+	return gen.Graph500RMAT(scale, edgeFactor, seed)
+}
+
+// Circuit returns a circuit-simulation matrix (diagonal + local couplings
+// + global nets).
+func Circuit(n int, seed uint64) *Matrix { return gen.Circuit(n, seed) }
+
+// PrunedWeights returns a magnitude-pruned neural-network weight matrix
+// with the given keep rate (ML workloads).
+func PrunedWeights(rows, cols int, keep float64, seed uint64) *Matrix {
+	return gen.PrunedWeights(rows, cols, keep, seed)
+}
+
+// Characterization engine.
+
+// Engine drives characterizations against a fixed hardware model.
+type Engine = core.Engine
+
+// Result is one characterization point (σ, balance, latency, throughput,
+// bandwidth utilization, synthesis estimate).
+type Result = core.Result
+
+// Objective weights the advisor's metric trade-off.
+type Objective = core.Objective
+
+// Recommendation is the advisor's ranked outcome.
+type Recommendation = core.Recommendation
+
+// HardwareConfig parameterizes the modelled accelerator.
+type HardwareConfig = hlsim.Config
+
+// SynthReport is the resource/power estimate of one decompressor variant.
+type SynthReport = synth.Report
+
+// NewEngine returns an engine with the calibrated default hardware model
+// (250 MHz, 64-bit dual AXI streamlines; see internal/hlsim).
+func NewEngine() *Engine { return core.New() }
+
+// NewEngineWithConfig returns an engine with a custom hardware model.
+func NewEngineWithConfig(cfg HardwareConfig) (*Engine, error) { return core.NewWithConfig(cfg) }
+
+// DefaultHardware returns the calibrated hardware configuration.
+func DefaultHardware() HardwareConfig { return hlsim.Default() }
+
+// Characterize runs one (matrix, format, partition size) point on the
+// default engine, verifying the simulated SpMV result.
+func Characterize(m *Matrix, f Format, p int) (Result, error) {
+	return core.New().Characterize("matrix", m, f, p)
+}
+
+// SpMV multiplies y = A·x through the modelled accelerator: A is
+// partitioned, compressed in format f, streamed, decompressed, and fed to
+// the dot-product engine. Use Matrix.MulVec for the plain software path.
+func SpMV(m *Matrix, x []float64, f Format, p int) ([]float64, error) {
+	res, err := hlsim.Run(hlsim.Default(), m, f, p, x)
+	if err != nil {
+		return nil, err
+	}
+	return res.Y, nil
+}
+
+// ParallelResult models aggregated pipeline instances (§5.1).
+type ParallelResult = hlsim.ParallelResult
+
+// SpMVParallel runs the SpMV across `lanes` independent pipeline
+// instances — the coarse-grained parallelism of §5.1 — returning the
+// functional result and the per-lane timing model.
+func SpMVParallel(m *Matrix, x []float64, f Format, p, lanes int) (*ParallelResult, error) {
+	return hlsim.RunParallel(hlsim.Default(), m, f, p, x, lanes)
+}
+
+// SpMMResult models sparse-matrix × dense-matrix multiplication, where
+// each tile's decompression amortizes over the operand columns (§3.3).
+type SpMMResult = hlsim.SpMMResult
+
+// SpMM multiplies m by the dense operand b (m.Cols × cols, row-major)
+// through the modelled pipeline.
+func SpMM(m *Matrix, b []float64, cols int, f Format, p int) (*SpMMResult, error) {
+	return hlsim.RunSpMM(hlsim.Default(), m, f, p, b, cols)
+}
+
+// Schedule is the event-level three-stage pipeline timeline (memory
+// read → compute → memory write) of one streaming run.
+type Schedule = hlsim.Schedule
+
+// BuildSchedule computes the exact pipeline timeline for a run,
+// refining the per-tile max(mem, compute) approximation with fill,
+// drain, and writeback overlap.
+func BuildSchedule(m *Matrix, f Format, p int) (*Schedule, error) {
+	return hlsim.BuildSchedule(hlsim.Default(), m, f, p)
+}
+
+// Application kernels (§3.3): iterative solvers and graph algorithms
+// whose inner loop is SpMV, runnable over the software reference or the
+// modelled accelerator.
+
+// SpMVBackend is the matrix-vector product a kernel iterates with.
+type SpMVBackend = kernels.SpMV
+
+// KernelStats reports an iterative kernel's outcome.
+type KernelStats = kernels.Stats
+
+// SoftwareBackend returns the plain software SpMV backend for m.
+func SoftwareBackend(m *Matrix) SpMVBackend { return kernels.Software(m) }
+
+// AcceleratorBackend returns an SpMV backend streaming m through the
+// modelled pipeline, plus the modelled cycle cost per multiplication.
+func AcceleratorBackend(m *Matrix, f Format, p int) (SpMVBackend, uint64, error) {
+	return kernels.Accelerator(hlsim.Default(), m, f, p)
+}
+
+// SolveCG solves A·x = b for SPD A by conjugate gradients.
+func SolveCG(mul SpMVBackend, b []float64, tol float64, maxIter int) ([]float64, KernelStats, error) {
+	return kernels.CG(mul, b, tol, maxIter)
+}
+
+// SolveJacobi solves A·x = b by Jacobi iteration given A's diagonal.
+func SolveJacobi(mul SpMVBackend, diag, b []float64, tol float64, maxIter int) ([]float64, KernelStats, error) {
+	return kernels.Jacobi(mul, diag, b, tol, maxIter)
+}
+
+// SymGaussSeidel runs symmetric Gauss-Seidel sweeps on A·x = b.
+func SymGaussSeidel(m *Matrix, b []float64, sweeps int) ([]float64, KernelStats, error) {
+	return kernels.SymGaussSeidel(m, b, sweeps)
+}
+
+// PageRankOperator builds the PageRank transition matrix from a
+// directed adjacency matrix.
+func PageRankOperator(adj *Matrix) *Matrix { return kernels.PageRankOperator(adj) }
+
+// PageRank iterates the damped PageRank recurrence with the given
+// backend over the PageRank operator.
+func PageRank(mul SpMVBackend, n int, damping, tol float64, maxIter int) ([]float64, KernelStats, error) {
+	return kernels.PageRank(mul, n, damping, tol, maxIter)
+}
+
+// BFSLevels computes breadth-first levels from source using repeated
+// frontier SpMVs with mulT (a backend over the adjacency transpose).
+func BFSLevels(adj *Matrix, source int, mulT SpMVBackend) ([]int, error) {
+	return kernels.BFSLevels(adj, source, mulT)
+}
+
+// TileTrace is one partition's streaming record (stage costs, bubbles,
+// bound classification).
+type TileTrace = hlsim.TileTrace
+
+// TraceSummary aggregates a trace.
+type TraceSummary = hlsim.TraceSummary
+
+// TraceSpMV streams the matrix in format f and returns the per-partition
+// pipeline trace, making the §4.2 streaming bubbles visible tile by
+// tile.
+func TraceSpMV(m *Matrix, f Format, p int) ([]TileTrace, error) {
+	return hlsim.Trace(hlsim.Default(), m, f, p)
+}
+
+// SummarizeTrace folds a trace into totals.
+func SummarizeTrace(traces []TileTrace) TraceSummary { return hlsim.Summarize(traces) }
+
+// RenderTimeline writes an ASCII per-tile timeline of a trace (at most
+// maxTiles lines; 0 means all).
+func RenderTimeline(w io.Writer, traces []TileTrace, maxTiles int) error {
+	return hlsim.RenderTimeline(w, traces, maxTiles)
+}
+
+// PointRecommendation is one (format, partition size) design point.
+type PointRecommendation = core.PointRecommendation
+
+// LatencyObjective optimizes modelled time only.
+func LatencyObjective() Objective { return core.LatencyObjective() }
+
+// BalancedObjective mirrors §8: latency first, then power, bandwidth,
+// resources and balance.
+func BalancedObjective() Objective { return core.BalancedObjective() }
+
+// Classify buckets a matrix into the §3 workload taxonomy.
+func Classify(m *Matrix) core.MatrixClass { return core.Classify(m) }
+
+// StaticAdvice returns the paper's §8 rule-of-thumb format for a class.
+func StaticAdvice(c core.MatrixClass) (Format, []Format, string) { return core.StaticAdvice(c) }
+
+// EstimateSynthesis returns the resource/power estimate for one
+// decompressor variant at one partition size.
+func EstimateSynthesis(f Format, p int) SynthReport { return synth.Estimate(f, p) }
+
+// Experiment harness.
+
+// ReportOptions configures the experiment harness.
+type ReportOptions = report.Options
+
+// ExperimentTable is one regenerated table or figure.
+type ExperimentTable = report.Table
+
+// NewReportOptions returns the full-scale harness configuration.
+func NewReportOptions() *ReportOptions { return report.NewOptions() }
+
+// NewSmallReportOptions returns a reduced-scale configuration for quick
+// runs.
+func NewSmallReportOptions() *ReportOptions { return report.NewSmallOptions() }
+
+// Experiments lists the regenerable paper artifacts in presentation
+// order (fig3 … fig14, table2).
+func Experiments() []string { return append([]string(nil), report.Order...) }
+
+// ExtExperiments lists the extension artifacts beyond the paper (all-
+// format comparisons, coarse-grained aggregation).
+func ExtExperiments() []string { return append([]string(nil), report.ExtOrder...) }
+
+// RunExperiment regenerates one paper artifact by id.
+func RunExperiment(o *ReportOptions, id string) (ExperimentTable, error) {
+	return report.Generate(o, id)
+}
+
+// RunAllExperiments regenerates every artifact in order.
+func RunAllExperiments(o *ReportOptions) ([]ExperimentTable, error) { return report.All(o) }
+
+// Workload catalog.
+
+// Workload is one evaluation matrix with provenance.
+type Workload = workloads.Workload
+
+// WorkloadConfig scales the evaluation suites.
+type WorkloadConfig = workloads.Config
+
+// SuiteSparseWorkloads returns the 20 Table-1 surrogates.
+func SuiteSparseWorkloads(c WorkloadConfig) []Workload { return workloads.SuiteSparse(c) }
+
+// RandomWorkloads returns the density-sweep suite.
+func RandomWorkloads(c WorkloadConfig) []Workload { return workloads.RandomSuite(c) }
+
+// BandWorkloads returns the band-width-sweep suite.
+func BandWorkloads(c WorkloadConfig) []Workload { return workloads.BandSuite(c) }
+
+// PartitionSizes is the paper's partition-size sweep {8, 16, 32}.
+func PartitionSizes() []int { return append([]int(nil), workloads.PartitionSizes...) }
+
+// Matrix Market I/O (the SuiteSparse collection's exchange format), so
+// the characterization can run on the paper's actual matrices when the
+// files are available.
+
+// ReadMatrixMarket parses a Matrix Market coordinate stream
+// (real/integer/pattern; general/symmetric/skew-symmetric).
+func ReadMatrixMarket(r io.Reader) (*Matrix, error) { return mtx.Read(r) }
+
+// WriteMatrixMarket emits the matrix in coordinate-real-general form.
+func WriteMatrixMarket(w io.Writer, m *Matrix) error { return mtx.Write(w, m) }
+
+// LoadMatrixMarket reads a .mtx file from disk.
+func LoadMatrixMarket(path string) (*Matrix, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return mtx.Read(f)
+}
+
+// SaveMatrixMarket writes the matrix to a .mtx file.
+func SaveMatrixMarket(path string, m *Matrix) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := mtx.Write(f, m); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,260 @@
+package copernicus_test
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"copernicus"
+)
+
+func TestQuickstartPath(t *testing.T) {
+	m := copernicus.Random(128, 0.05, 42)
+	res, err := copernicus.Characterize(m, copernicus.COO, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sigma <= 0 || res.ThroughputBps <= 0 {
+		t.Fatalf("bad result %+v", res)
+	}
+}
+
+func TestBuilderFacade(t *testing.T) {
+	b := copernicus.NewBuilder(3, 3)
+	b.Add(0, 0, 1)
+	b.Add(2, 1, 4)
+	m := b.Build()
+	if m.NNZ() != 2 {
+		t.Fatalf("nnz = %d", m.NNZ())
+	}
+}
+
+func TestSpMVMatchesReference(t *testing.T) {
+	m := copernicus.Stencil2D(12, 12, 7)
+	x := make([]float64, m.Cols)
+	for i := range x {
+		x[i] = float64(i%5) - 2
+	}
+	want := m.MulVec(x)
+	for _, f := range copernicus.AllFormats() {
+		y, err := copernicus.SpMV(m, x, f, 8)
+		if err != nil {
+			t.Fatalf("%v: %v", f, err)
+		}
+		for i := range want {
+			if math.Abs(y[i]-want[i]) > 1e-9 {
+				t.Fatalf("%v: y[%d] = %v, want %v", f, i, y[i], want[i])
+			}
+		}
+	}
+}
+
+func TestFormatLists(t *testing.T) {
+	if len(copernicus.CoreFormats()) != 8 || len(copernicus.SparseFormats()) != 7 {
+		t.Fatal("format list sizes wrong")
+	}
+	if len(copernicus.AllFormats()) != 13 {
+		t.Fatalf("all formats = %d, want 13", len(copernicus.AllFormats()))
+	}
+}
+
+func TestEncodeDecodeFacade(t *testing.T) {
+	m := copernicus.Band(16, 4, 3)
+	// Build a tile from the matrix's top-left corner.
+	tile := copernicus.FromDense(16, 16, m.ToDense())
+	_ = tile
+	enc := copernicus.Encode(copernicus.DIA, firstTile(t, m, 16))
+	dec, err := enc.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.NNZ() == 0 {
+		t.Fatal("decoded tile empty")
+	}
+}
+
+func firstTile(t *testing.T, m *copernicus.Matrix, p int) *copernicus.Tile {
+	t.Helper()
+	tile := copernicus.NewTileFromMatrix(m, 0, 0, p)
+	if tile == nil {
+		t.Fatal("no tile")
+	}
+	return tile
+}
+
+func TestRecommendFacade(t *testing.T) {
+	m := copernicus.ScaleFreeGraph(256, 4, 9)
+	rec, err := copernicus.NewEngine().Recommend(m, 16, nil, copernicus.LatencyObjective())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Format == copernicus.CSC {
+		t.Fatal("advisor picked CSC")
+	}
+}
+
+func TestStaticAdviceFacade(t *testing.T) {
+	m := copernicus.Band(256, 8, 1)
+	f, alts, why := copernicus.StaticAdvice(copernicus.Classify(m))
+	if f != copernicus.ELL || len(alts) == 0 || why == "" {
+		t.Fatalf("band advice: %v %v %q", f, alts, why)
+	}
+}
+
+func TestExperimentFacade(t *testing.T) {
+	o := copernicus.NewSmallReportOptions()
+	ids := copernicus.Experiments()
+	if len(ids) != 13 {
+		t.Fatalf("experiments = %d, want 13 (Figs. 3-14 + Table 2)", len(ids))
+	}
+	tab, err := copernicus.RunExperiment(o, "table2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty render")
+	}
+}
+
+func TestWorkloadFacade(t *testing.T) {
+	c := copernicus.WorkloadConfig{Scale: 256, RandomDim: 256, BandDim: 256}
+	if got := len(copernicus.SuiteSparseWorkloads(c)); got != 20 {
+		t.Fatalf("suitesparse = %d", got)
+	}
+	if got := len(copernicus.RandomWorkloads(c)); got != 5 {
+		t.Fatalf("random = %d", got)
+	}
+	if got := len(copernicus.BandWorkloads(c)); got != 7 {
+		t.Fatalf("band = %d", got)
+	}
+	ps := copernicus.PartitionSizes()
+	if len(ps) != 3 || ps[0] != 8 {
+		t.Fatalf("partition sizes %v", ps)
+	}
+}
+
+func TestStatsFacade(t *testing.T) {
+	m := copernicus.Diagonal(64, 2)
+	s := copernicus.Stats(m, 8)
+	if s.NonZeroRowFrac != 1 {
+		t.Fatalf("diagonal nzrow frac %v", s.NonZeroRowFrac)
+	}
+}
+
+func TestSynthesisFacade(t *testing.T) {
+	r := copernicus.EstimateSynthesis(copernicus.Dense, 16)
+	if r.BRAM18K != 16 {
+		t.Fatalf("dense BRAM@16 = %d", r.BRAM18K)
+	}
+}
+
+func TestMatrixMarketFacade(t *testing.T) {
+	m := copernicus.Circuit(120, 5)
+	var buf bytes.Buffer
+	if err := copernicus.WriteMatrixMarket(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := copernicus.ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NNZ() != m.NNZ() {
+		t.Fatalf("round trip nnz %d vs %d", back.NNZ(), m.NNZ())
+	}
+
+	path := filepath.Join(t.TempDir(), "m.mtx")
+	if err := copernicus.SaveMatrixMarket(path, m); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := copernicus.LoadMatrixMarket(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NNZ() != m.NNZ() {
+		t.Fatal("file round trip lost entries")
+	}
+	if _, err := copernicus.LoadMatrixMarket("/nonexistent.mtx"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestSpMVParallelFacade(t *testing.T) {
+	m := copernicus.Random(128, 0.05, 31)
+	x := make([]float64, m.Cols)
+	for i := range x {
+		x[i] = float64(i % 3)
+	}
+	want := m.MulVec(x)
+	r, err := copernicus.SpMVParallel(m, x, copernicus.COO, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Lanes != 4 || len(r.LaneCycles) != 4 {
+		t.Fatalf("lanes %d/%d", r.Lanes, len(r.LaneCycles))
+	}
+	for i := range want {
+		if math.Abs(r.Y[i]-want[i]) > 1e-9 {
+			t.Fatalf("y[%d] mismatch", i)
+		}
+	}
+	if e := r.Efficiency(); e <= 0 || e > 1 {
+		t.Fatalf("efficiency %v", e)
+	}
+}
+
+func TestTraceFacade(t *testing.T) {
+	m := copernicus.Band(96, 8, 33)
+	traces, err := copernicus.TraceSpMV(m, copernicus.DIA, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) == 0 {
+		t.Fatal("empty trace")
+	}
+	s := copernicus.SummarizeTrace(traces)
+	if s.Tiles != len(traces) || s.TotalCycles == 0 {
+		t.Fatalf("summary %+v", s)
+	}
+	var buf bytes.Buffer
+	if err := copernicus.RenderTimeline(&buf, traces, 3); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "bubble cycles") {
+		t.Fatal("timeline missing summary")
+	}
+}
+
+func TestRecommendDesignFacade(t *testing.T) {
+	m := copernicus.PrunedWeights(96, 96, 0.2, 35)
+	points, err := copernicus.NewEngine().RecommendDesign(m, nil, nil, copernicus.BalancedObjective())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 21 { // 7 sparse formats × 3 partition sizes
+		t.Fatalf("points = %d", len(points))
+	}
+	var _ copernicus.PointRecommendation = points[0]
+	if points[0].Format == copernicus.CSC {
+		t.Fatal("CSC won")
+	}
+}
+
+func TestExtExperimentsFacade(t *testing.T) {
+	ids := copernicus.ExtExperiments()
+	if len(ids) != 7 {
+		t.Fatalf("ext experiments = %d", len(ids))
+	}
+	tab, err := copernicus.RunExperiment(copernicus.NewSmallReportOptions(), ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatal("empty ext table")
+	}
+}

@@ -1,0 +1,82 @@
+// Conjugate-gradient solve of a 2-D Poisson problem with the SpMV inside
+// the iteration executed through the modelled accelerator — the
+// scientific-computing workload of §3.3, where iterative solvers for
+// discretized PDEs spend their time in SpMV.
+//
+// The system matrix is the banded SPD stencil matrix §3.2 describes, so
+// the example also shows the structured-matrix trade-off of §8: DIA
+// utilizes memory bandwidth nearly perfectly on band matrices, but a
+// format mismatched to the hardware's row-oriented computation (CSC) is
+// catastrophically slow, and generic formats remain competitive. A
+// symmetric Gauss-Seidel smoother (§3.3's other PDE kernel) provides the
+// starting guess quality comparison.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"copernicus"
+)
+
+const grid = 24 // 24×24 interior points → 576 unknowns
+
+func main() {
+	// Discretized Poisson operator (pentadiagonal SPD).
+	a := copernicus.Stencil2D(grid, grid, 7)
+	n := a.Rows
+	fmt.Printf("system: %d unknowns, %d non-zeros, bandwidth %d\n\n", n, a.NNZ(), a.Bandwidth())
+
+	// Right-hand side: a point source in the middle of the domain.
+	rhs := make([]float64, n)
+	rhs[n/2+grid/2] = 1
+
+	// Compare candidate formats on the operator before solving.
+	fmt.Println("per-SpMV characterization on the stencil operator (p=16):")
+	fmt.Println("  format   sigma   bw_util  time(s)")
+	for _, f := range []copernicus.Format{
+		copernicus.DIA, copernicus.CSR, copernicus.ELL, copernicus.COO, copernicus.CSC,
+	} {
+		r, err := copernicus.Characterize(a, f, 16)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-8v %6.2f  %7.3f  %.3e\n", f, r.Sigma, r.BandwidthUtil, r.Seconds)
+	}
+
+	// A few symmetric Gauss-Seidel sweeps show the smoother §3.3 cites.
+	_, gsStats, err := copernicus.SymGaussSeidel(a, rhs, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsymmetric Gauss-Seidel, 5 sweeps: residual %.3e\n", gsStats.Residual)
+
+	// Solve with CG over the accelerator backend in a band-appropriate
+	// format.
+	format := copernicus.ELL
+	mul, cyclesPerSpMV, err := copernicus.AcceleratorBackend(a, format, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsolving with CG using %v for the accelerator SpMV\n", format)
+	x, st, err := copernicus.SolveCG(mul, rhs, 1e-10, 2*n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hw := copernicus.DefaultHardware()
+	modelled := float64(uint64(st.Iterations)*cyclesPerSpMV) / hw.ClockHz
+	fmt.Printf("converged=%v in %d iterations, final residual %.3e\n",
+		st.Converged, st.Iterations, st.Residual)
+	fmt.Printf("modelled accelerator time for all SpMVs: %.3e s\n", modelled)
+
+	// Sanity: check A·x ≈ rhs through the software path.
+	ax := a.MulVec(x)
+	worst := 0.0
+	for i := range ax {
+		if d := math.Abs(ax[i] - rhs[i]); d > worst {
+			worst = d
+		}
+	}
+	fmt.Printf("verification: max |A·x - b| = %.3e\n", worst)
+}

@@ -1,0 +1,61 @@
+// Format advisor: the executable form of the paper's §8 insights. For a
+// spectrum of workload shapes it prints the paper's rule-of-thumb
+// recommendation next to the measured ranking from a full
+// characterization, showing where the rules hold and where measuring the
+// actual matrix changes the answer.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"copernicus"
+)
+
+func main() {
+	cases := []struct {
+		name string
+		m    *copernicus.Matrix
+	}{
+		{"scale-free graph (web/social)", copernicus.ScaleFreeGraph(512, 6, 1)},
+		{"road-like mesh (scientific graph)", copernicus.Stencil2D(22, 22, 2)},
+		{"diagonal matrix", copernicus.Diagonal(512, 3)},
+		{"band matrix, width 16", copernicus.Band(512, 16, 4)},
+		{"pruned weights, 30% kept", copernicus.PrunedWeights(256, 256, 0.3, 5)},
+		{"extremely sparse random (1e-3)", copernicus.Random(512, 0.001, 6)},
+	}
+
+	engine := copernicus.NewEngine()
+	for _, c := range cases {
+		class := copernicus.Classify(c.m)
+		static, alts, why := copernicus.StaticAdvice(class)
+		fmt.Printf("%s\n  %dx%d nnz=%d density=%.4g class=%s\n",
+			c.name, c.m.Rows, c.m.Cols, c.m.NNZ(), c.m.Density(), class)
+		fmt.Printf("  paper rule:  %v (alternatives %v)\n    %s\n", static, alts, why)
+
+		rec, err := engine.Recommend(c.m, 16, nil, copernicus.BalancedObjective())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  measured:    %v", rec.Format)
+		if rec.Format == static {
+			fmt.Print("  (agrees with the rule)")
+		} else {
+			fmt.Printf("  (rule suggested %v — measurement wins arguments)", static)
+		}
+		fmt.Printf("\n  top three:   ")
+		for i := 0; i < 3 && i < len(rec.Ranking); i++ {
+			r := rec.Results[i]
+			fmt.Printf("%v (%.2es, σ=%.2f)  ", rec.Ranking[i], r.Seconds, r.Sigma)
+		}
+		fmt.Print("\n\n")
+	}
+
+	fmt.Println("insights encoded here (§8):")
+	fmt.Println(" 1. memory bandwidth is not always the bottleneck — CSR-style formats leave")
+	fmt.Println("    the pipeline compute-bound, so faster memory buys nothing")
+	fmt.Println(" 2. generic COO beats pattern-specific DIA on generic SpMV hardware, even")
+	fmt.Println("    for diagonal-ish matrices, unless the compute engine is co-designed")
+	fmt.Println(" 3. for density ≥ 0.1 (pruned NNs), keep partitions small (8×8/16×16) and")
+	fmt.Println("    prefer BCSR/LIL; further compression hurts performance")
+}

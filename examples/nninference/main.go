@@ -1,0 +1,104 @@
+// Sparse neural-network inference: a pruned two-layer MLP whose
+// layer-by-layer matrix-vector products run through the modelled
+// accelerator — the machine-learning workload of §3.3.
+//
+// Pruned weight matrices are far denser (10–50%) than scientific or graph
+// matrices, which flips the format trade-off: the paper's §8 guidance for
+// density ≥ 0.1 is BCSR/LIL with small partitions, and aggressive
+// compression stops paying off. The example sweeps pruning levels and
+// shows the crossover.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"copernicus"
+)
+
+const (
+	inputDim  = 256
+	hiddenDim = 128
+	outputDim = 32
+)
+
+func main() {
+	fmt.Println("pruned-MLP inference through the sparse accelerator model")
+	fmt.Println()
+
+	// Sweep pruning levels from aggressive (10% kept) to mild (50%).
+	for _, keep := range []float64{0.1, 0.3, 0.5} {
+		w1 := copernicus.PrunedWeights(hiddenDim, inputDim, keep, 11)
+		w2 := copernicus.PrunedWeights(outputDim, hiddenDim, keep, 13)
+		fmt.Printf("keep rate %.0f%%: layer1 %dx%d (density %.3f), layer2 %dx%d (density %.3f)\n",
+			keep*100, w1.Rows, w1.Cols, w1.Density(), w2.Rows, w2.Cols, w2.Density())
+
+		// §8: for density ≥ 0.1 keep partitions at 8 or 16.
+		const p = 8
+		fmt.Println("  format   sigma   balance  bw_util  time/layer1(s)")
+		best := copernicus.Format(-1)
+		bestTime := math.Inf(1)
+		for _, f := range []copernicus.Format{
+			copernicus.BCSR, copernicus.LIL, copernicus.ELL, copernicus.CSR,
+			copernicus.COO, copernicus.Dense,
+		} {
+			r, err := copernicus.Characterize(w1, f, p)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-8v %6.2f  %7.2f  %7.3f  %.3e\n",
+				f, r.Sigma, r.BalanceRatio, r.BandwidthUtil, r.Seconds)
+			if r.Seconds < bestTime {
+				bestTime, best = r.Seconds, f
+			}
+		}
+		fmt.Printf("  fastest on this layer: %v\n", best)
+
+		// Run one inference with the winning format.
+		x := make([]float64, inputDim)
+		for i := range x {
+			x[i] = math.Sin(float64(i) / 7)
+		}
+		h, err := copernicus.SpMV(w1, x, best, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		relu(h)
+		y, err := copernicus.SpMV(w2, h, best, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		relu(y)
+		fmt.Printf("  inference ok: argmax=%d, |out|=%.4f\n\n", argmax(y), norm(y))
+	}
+
+	fmt.Println("§8 check: at density ≥ 0.1 the dense baseline and block formats close")
+	fmt.Println("the gap — decompression savings no longer cover the zero-skipping logic.")
+}
+
+func relu(v []float64) {
+	for i := range v {
+		if v[i] < 0 {
+			v[i] = 0
+		}
+	}
+}
+
+func argmax(v []float64) int {
+	best := 0
+	for i := range v {
+		if v[i] > v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func norm(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,184 @@
+// Package core is the Copernicus characterization engine — the paper's
+// primary contribution. It drives the hlsim accelerator model and the
+// synth estimator over (workload × format × partition size) points,
+// verifies every run's functional SpMV output against the software
+// reference, and aggregates the six metric families of §4.2: σ, latency
+// breakdown, balance ratio, throughput, memory-bandwidth utilization, and
+// resource/power.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"copernicus/internal/formats"
+	"copernicus/internal/hlsim"
+	"copernicus/internal/matrix"
+	"copernicus/internal/synth"
+	"copernicus/internal/workloads"
+	"copernicus/internal/xrand"
+)
+
+// Result is one characterization point.
+type Result struct {
+	Workload string
+	Format   formats.Kind
+	P        int
+
+	// Sigma is the decompression latency overhead of Eq. (1), aggregated
+	// over all non-zero partitions (dense ≡ 1).
+	Sigma float64
+	// BalanceRatio is the mean memory/compute latency ratio (ideal 1).
+	BalanceRatio float64
+	// MeanMemCycles and MeanComputeCycles are the per-partition averages
+	// plotted in Fig. 8.
+	MeanMemCycles     float64
+	MeanComputeCycles float64
+	// Seconds is the modelled end-to-end time; ThroughputBps is
+	// processed bytes (data + metadata) per second.
+	Seconds       float64
+	ThroughputBps float64
+	// BandwidthUtil is useful bytes over transmitted bytes.
+	BandwidthUtil float64
+	// DotEngineUtil and InnerPipelineUtil are the §5.1 run-time
+	// utilizations: multiplier slots carrying real non-zeros, and
+	// partition rows occupying the decompress→dot pipeline.
+	DotEngineUtil     float64
+	InnerPipelineUtil float64
+
+	NonZeroTiles int
+	TotalTiles   int
+	TotalBytes   int
+
+	// Synth is the resource/power estimate for this decompressor
+	// variant at this partition size.
+	Synth synth.Report
+
+	// DynamicEnergyJ and StaticEnergyJ integrate the power estimates
+	// over the modelled run time. §6.4: "the static energy, which
+	// depends on time, can be an issue for those slower sparse formats
+	// that require less dynamic energy."
+	DynamicEnergyJ float64
+	StaticEnergyJ  float64
+}
+
+// EnergyJ returns the total modelled energy of the run.
+func (r Result) EnergyJ() float64 { return r.DynamicEnergyJ + r.StaticEnergyJ }
+
+// Engine runs characterizations with a fixed hardware configuration.
+type Engine struct {
+	cfg hlsim.Config
+	// VerifyTolerance bounds the allowed |y_sim - y_ref| per element.
+	verifyTol float64
+}
+
+// New returns an engine with the calibrated default hardware model.
+func New() *Engine {
+	e, err := NewWithConfig(hlsim.Default())
+	if err != nil {
+		panic(err) // the default configuration is always valid
+	}
+	return e
+}
+
+// NewWithConfig returns an engine for a custom hardware configuration.
+func NewWithConfig(cfg hlsim.Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Engine{cfg: cfg, verifyTol: 1e-9}, nil
+}
+
+// Config returns the engine's hardware configuration.
+func (e *Engine) Config() hlsim.Config { return e.cfg }
+
+// testVector returns the deterministic operand vector used in every
+// characterization: reproducible, non-trivial values so functional
+// verification exercises real arithmetic.
+func testVector(n int) []float64 {
+	r := xrand.NewStream(0x7EC7, uint64(n))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = r.ValueIn(-1, 1)
+	}
+	return x
+}
+
+// Characterize runs one (matrix, format, partition size) point and
+// verifies the simulated SpMV output against the software reference; a
+// mismatch is a hard error, never a silently wrong metric.
+func (e *Engine) Characterize(name string, m *matrix.CSR, k formats.Kind, p int) (Result, error) {
+	x := testVector(m.Cols)
+	run, err := hlsim.Run(e.cfg, m, k, p, x)
+	if err != nil {
+		return Result{}, fmt.Errorf("core: %s/%v/p=%d: %w", name, k, p, err)
+	}
+	ref := m.MulVec(x)
+	for i := range ref {
+		if math.Abs(run.Y[i]-ref[i]) > e.verifyTol {
+			return Result{}, fmt.Errorf("core: %s/%v/p=%d: functional mismatch at row %d: %g vs %g",
+				name, k, p, i, run.Y[i], ref[i])
+		}
+	}
+	rep := synth.Estimate(k, p)
+	return Result{
+		Workload:          name,
+		Format:            k,
+		P:                 p,
+		DynamicEnergyJ:    rep.DynamicW * run.Seconds(),
+		StaticEnergyJ:     rep.StaticW * run.Seconds(),
+		Sigma:             run.Sigma(),
+		BalanceRatio:      run.BalanceRatio(),
+		MeanMemCycles:     run.MeanMemCycles(),
+		MeanComputeCycles: run.MeanComputeCycles(),
+		Seconds:           run.Seconds(),
+		ThroughputBps:     run.Throughput(),
+		BandwidthUtil:     run.BandwidthUtilization(),
+		DotEngineUtil:     run.DotEngineUtilization(),
+		InnerPipelineUtil: run.InnerPipelineUtilization(),
+		NonZeroTiles:      run.NonZeroTiles,
+		TotalTiles:        run.TotalTiles,
+		TotalBytes:        run.Footprint.TotalBytes(),
+		Synth:             rep,
+	}, nil
+}
+
+// SweepFormats characterizes one matrix across formats at one partition
+// size, in the given format order.
+func (e *Engine) SweepFormats(name string, m *matrix.CSR, p int, kinds []formats.Kind) ([]Result, error) {
+	out := make([]Result, 0, len(kinds))
+	for _, k := range kinds {
+		r, err := e.Characterize(name, m, k, p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Sweep characterizes every workload × format × partition size point.
+func (e *Engine) Sweep(ws []workloads.Workload, kinds []formats.Kind, ps []int) ([]Result, error) {
+	var out []Result
+	for _, w := range ws {
+		for _, p := range ps {
+			rs, err := e.SweepFormats(w.ID, w.M, p, kinds)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, rs...)
+		}
+	}
+	return out, nil
+}
+
+// Filter returns the results matching the given predicate.
+func Filter(rs []Result, keep func(Result) bool) []Result {
+	var out []Result
+	for _, r := range rs {
+		if keep(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package gen
+
+import (
+	"copernicus/internal/matrix"
+	"copernicus/internal/xrand"
+)
+
+// Stencil2D generates the coefficient matrix of a 5-point finite-difference
+// discretization of a 2-D PDE on a rows×cols grid: a symmetric
+// positive-definite pentadiagonal matrix. Structural and thermal problems
+// (dwt_918, thermomech_dK) have this character, and it is the canonical
+// "PDE on a square domain leads to a band matrix" example of §3.2.
+func Stencil2D(rows, cols int, seed uint64) *matrix.CSR {
+	r := xrand.NewStream(seed, 0x57E2)
+	n := rows * cols
+	bld := matrix.NewBuilder(n, n)
+	id := func(i, j int) int { return i*cols + j }
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			v := id(i, j)
+			// Diagonal dominance keeps the matrix SPD so the CG example can
+			// actually converge on these workloads.
+			bld.Add(v, v, 4+0.1*r.Float64())
+			if j+1 < cols {
+				bld.AddSym(v, id(i, j+1), -1)
+			}
+			if i+1 < rows {
+				bld.AddSym(v, id(i+1, j), -1)
+			}
+		}
+	}
+	return bld.Build()
+}
+
+// Stencil3D generates the 7-point stencil of a 3-D PDE discretization on an
+// nx×ny×nz grid, the structure behind electromagnetics FEM matrices such as
+// 2cubes_sphere. The z-neighbour couplings sit nx·ny off the diagonal,
+// producing the multi-band profile characteristic of 3-D problems.
+func Stencil3D(nx, ny, nz int, seed uint64) *matrix.CSR {
+	r := xrand.NewStream(seed, 0x57E3)
+	n := nx * ny * nz
+	bld := matrix.NewBuilder(n, n)
+	id := func(x, y, z int) int { return (z*ny+y)*nx + x }
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				v := id(x, y, z)
+				bld.Add(v, v, 6+0.1*r.Float64())
+				if x+1 < nx {
+					bld.AddSym(v, id(x+1, y, z), -1)
+				}
+				if y+1 < ny {
+					bld.AddSym(v, id(x, y+1, z), -1)
+				}
+				if z+1 < nz {
+					bld.AddSym(v, id(x, y, z+1), -1)
+				}
+			}
+		}
+	}
+	return bld.Build()
+}
+
+// Circuit generates a circuit-simulation matrix (Freescale2, hcircuit,
+// rajat31 in Table 1): a dominant diagonal, short-range couplings from
+// locally numbered subcircuits, and a handful of nearly dense rows/columns
+// from global nets such as power rails and clocks.
+func Circuit(n int, seed uint64) *matrix.CSR {
+	r := xrand.NewStream(seed, 0xC14C)
+	bld := matrix.NewBuilder(n, n)
+	for i := 0; i < n; i++ {
+		bld.Add(i, i, r.ValueIn(1, 2))
+		// Local couplings within a small neighbourhood.
+		deg := 1 + r.Intn(3)
+		for e := 0; e < deg; e++ {
+			off := 1 + r.Intn(16)
+			j := i + off
+			if j < n {
+				bld.AddSym(i, j, r.ValueIn(-1, 1))
+			}
+		}
+	}
+	// Global nets: a few rows and columns that touch ~1% of the circuit.
+	nets := max(1, n/500)
+	for g := 0; g < nets; g++ {
+		net := r.Intn(n)
+		touches := max(4, n/100)
+		for t := 0; t < touches; t++ {
+			j := r.Intn(n)
+			if j != net {
+				bld.AddSym(net, j, r.ValueIn(-0.5, 0.5))
+			}
+		}
+	}
+	return bld.Build()
+}
+
+// PrunedWeights generates a neural-network weight matrix after magnitude
+// pruning: entries survive independently with probability keep, but with a
+// mild per-row variation in survival rate as real pruning produces
+// (rows map to output neurons whose sensitivity differs).
+func PrunedWeights(rows, cols int, keep float64, seed uint64) *matrix.CSR {
+	r := xrand.NewStream(seed, 0x9E47)
+	bld := matrix.NewBuilder(rows, cols)
+	for i := 0; i < rows; i++ {
+		// Row-wise keep rate varies ±30% around the target.
+		rowKeep := keep * (0.7 + 0.6*r.Float64())
+		if rowKeep > 1 {
+			rowKeep = 1
+		}
+		for j := 0; j < cols; j++ {
+			if r.Float64() < rowKeep {
+				bld.Add(i, j, r.NormFloat64()*0.1)
+			}
+		}
+	}
+	return bld.Build()
+}

@@ -1,0 +1,77 @@
+package hlsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"copernicus/internal/formats"
+)
+
+// TestDirectCSCRemovesOrientationPenalty: in the direct architecture
+// CSC's cost collapses from ~20× dense to the same order as CSR — the
+// co-design point of ext6.
+func TestDirectCSCRemovesOrientationPenalty(t *testing.T) {
+	cfg := Default()
+	tile := randomTile(3, 16, 0.3)
+	enc := formats.Encode(formats.CSC, tile)
+	decomp := cfg.Sigma(enc)
+	direct := cfg.SigmaDirect(enc)
+	if direct > decomp/5 {
+		t.Fatalf("direct CSC σ %.2f not well below decompress σ %.2f", direct, decomp)
+	}
+	csr := cfg.SigmaDirect(formats.Encode(formats.CSR, tile))
+	if direct > 3*csr {
+		t.Fatalf("direct CSC σ %.2f not comparable to direct CSR %.2f", direct, csr)
+	}
+}
+
+// TestDirectNarrowsSpread: the max/min σ ratio across sparse formats
+// shrinks under the direct architecture — most of the paper's spread is
+// the format/architecture pairing, not the formats themselves.
+func TestDirectNarrowsSpread(t *testing.T) {
+	cfg := Default()
+	tile := randomTile(7, 16, 0.2)
+	spread := func(sig func(formats.Encoded) float64) float64 {
+		lo, hi := 1e18, 0.0
+		for _, k := range formats.Sparse() {
+			s := sig(formats.Encode(k, tile))
+			if s < lo {
+				lo = s
+			}
+			if s > hi {
+				hi = s
+			}
+		}
+		return hi / lo
+	}
+	dec := spread(cfg.Sigma)
+	dir := spread(cfg.SigmaDirect)
+	if dir >= dec {
+		t.Fatalf("direct spread %.2f not below decompress spread %.2f", dir, dec)
+	}
+}
+
+// TestDirectDenseUnchanged: dense gains nothing from direct consumption.
+func TestDirectDenseUnchanged(t *testing.T) {
+	cfg := Default()
+	check := func(seed uint64) bool {
+		tile := randomTile(seed, 16, 0.3)
+		enc := formats.Encode(formats.Dense, tile)
+		return cfg.DirectComputeCycles(enc) == cfg.ComputeCycles(enc)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDirectPositive: every format yields positive direct cycles on a
+// non-empty tile.
+func TestDirectPositive(t *testing.T) {
+	cfg := Default()
+	tile := randomTile(9, 16, 0.15)
+	for _, k := range formats.All() {
+		if c := cfg.DirectComputeCycles(formats.Encode(k, tile)); c <= 0 {
+			t.Fatalf("%v: direct cycles %d", k, c)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package hlsim
+
+import (
+	"fmt"
+
+	"copernicus/internal/formats"
+	"copernicus/internal/matrix"
+)
+
+// ParallelResult models the coarse-grained parallelism of §5.1:
+// independent instances of the Fig. 2 pipeline process disjoint subsets
+// of the non-zero partitions, and the matrix finishes when the last lane
+// drains.
+type ParallelResult struct {
+	Kind  formats.Kind
+	P     int
+	Lanes int
+
+	// Y is the functional SpMV output (lane-order independent: partial
+	// outputs accumulate per row).
+	Y []float64
+
+	// LaneCycles is each instance's pipelined cycle total; TotalCycles
+	// is the slowest lane.
+	LaneCycles  []uint64
+	TotalCycles uint64
+
+	NonZeroTiles int
+	cfg          Config
+}
+
+// Seconds returns the modelled wall time of the parallel run.
+func (r *ParallelResult) Seconds() float64 { return r.cfg.CycleSeconds(r.TotalCycles) }
+
+// Efficiency returns the parallel efficiency: ideal lane time over the
+// slowest lane (1 = perfect load balance).
+func (r *ParallelResult) Efficiency() float64 {
+	if r.TotalCycles == 0 {
+		return 1
+	}
+	var sum uint64
+	for _, c := range r.LaneCycles {
+		sum += c
+	}
+	ideal := float64(sum) / float64(r.Lanes)
+	return ideal / float64(r.TotalCycles)
+}
+
+// RunParallel streams the non-zero partitions of m across `lanes`
+// independent pipeline instances (round-robin distribution, the static
+// schedule a streaming DMA would use) in format k at partition size p.
+// With lanes=1 it degenerates to Run's pipelined total.
+func RunParallel(cfg Config, m *matrix.CSR, k formats.Kind, p int, x []float64, lanes int) (*ParallelResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if lanes < 1 {
+		return nil, fmt.Errorf("hlsim: RunParallel with %d lanes", lanes)
+	}
+	if len(x) != m.Cols {
+		return nil, fmt.Errorf("hlsim: vector length %d for %d-column matrix", len(x), m.Cols)
+	}
+	pt := matrix.Partition(m, p)
+	r := &ParallelResult{
+		Kind:         k,
+		P:            p,
+		Lanes:        lanes,
+		Y:            make([]float64, m.Rows),
+		LaneCycles:   make([]uint64, lanes),
+		NonZeroTiles: len(pt.Tiles),
+		cfg:          cfg,
+	}
+	for i, tile := range pt.Tiles {
+		enc := formats.Encode(k, tile)
+		tr := RunTile(cfg, enc)
+		lane := i % lanes
+		r.LaneCycles[lane] += uint64(max(tr.MemCycles, tr.ComputeCycles))
+
+		dec, err := enc.Decode()
+		if err != nil {
+			return nil, fmt.Errorf("hlsim: tile (%d,%d): %w", tile.Row, tile.Col, err)
+		}
+		for ri := 0; ri < p; ri++ {
+			gi := tile.Row + ri
+			if gi >= m.Rows {
+				break
+			}
+			s := 0.0
+			for j := 0; j < p; j++ {
+				gj := tile.Col + j
+				if gj >= m.Cols {
+					break
+				}
+				s += dec.At(ri, j) * x[gj]
+			}
+			r.Y[gi] += s
+		}
+	}
+	for _, c := range r.LaneCycles {
+		if c > r.TotalCycles {
+			r.TotalCycles = c
+		}
+	}
+	return r, nil
+}

@@ -1,0 +1,238 @@
+package hlsim
+
+import (
+	"fmt"
+
+	"copernicus/internal/formats"
+	"copernicus/internal/matrix"
+)
+
+// TileResult records the modelled cost of streaming and processing one
+// compressed partition.
+type TileResult struct {
+	MemCycles     int
+	DecompCycles  int
+	ComputeCycles int
+	DotRows       int
+	Footprint     formats.Footprint
+}
+
+// Balance returns the tile's memory/compute latency ratio (the paper's
+// balance metric; 1 is perfectly balanced streaming).
+func (t TileResult) Balance() float64 {
+	return float64(t.MemCycles) / float64(t.ComputeCycles)
+}
+
+// Result aggregates a full SpMV run of one matrix in one format at one
+// partition size, carrying both the functional output vector and the
+// modelled performance totals.
+type Result struct {
+	Kind formats.Kind
+	P    int
+
+	// Y is the SpMV output computed through the modelled pipeline
+	// (decompress → dot product); tests verify it equals the software
+	// reference.
+	Y []float64
+
+	NonZeroTiles int
+	TotalTiles   int
+
+	// Cycle totals across non-zero tiles. PipelinedCycles accumulates
+	// max(mem, compute) per tile — the high-level pipeline overlaps the
+	// stages, so the slower one defines each partition's contribution.
+	MemCycles       uint64
+	ComputeCycles   uint64
+	DecompCycles    uint64
+	PipelinedCycles uint64
+
+	DotRows   uint64
+	NNZ       uint64
+	Footprint formats.Footprint
+
+	// Bubble accounting (§4.2: imbalanced streaming "leads to idle
+	// computation or pauses in data transfer"): per tile, the faster
+	// stage waits for the slower one. IdleComputeCycles accumulates the
+	// compute engine's wait when a tile is memory-bound; StallMemCycles
+	// accumulates the stream's pause when it is compute-bound.
+	IdleComputeCycles uint64
+	StallMemCycles    uint64
+
+	sumBalance float64
+	cfg        Config
+}
+
+// ComputeIdleFraction returns the fraction of pipelined time the compute
+// engine spends waiting on memory.
+func (r *Result) ComputeIdleFraction() float64 {
+	if r.PipelinedCycles == 0 {
+		return 0
+	}
+	return float64(r.IdleComputeCycles) / float64(r.PipelinedCycles)
+}
+
+// MemStallFraction returns the fraction of pipelined time the memory
+// stream spends paused behind compute.
+func (r *Result) MemStallFraction() float64 {
+	if r.PipelinedCycles == 0 {
+		return 0
+	}
+	return float64(r.StallMemCycles) / float64(r.PipelinedCycles)
+}
+
+// Sigma returns the aggregate decompression latency overhead: Eq. (1)
+// evaluated over all non-zero tiles (total decompression plus total dot
+// latency, normalized by the dense-format compute latency of the same
+// tiles). Dense returns exactly 1.
+func (r *Result) Sigma() float64 {
+	if r.NonZeroTiles == 0 {
+		return 1
+	}
+	td := uint64(r.cfg.DotLatency(r.P))
+	denom := uint64(r.NonZeroTiles) * uint64(r.P) * td
+	return float64(r.DecompCycles+r.DotRows*td) / float64(denom)
+}
+
+// BalanceRatio returns the average memory/compute ratio over non-zero
+// tiles (§4.2; 1 is perfectly balanced).
+func (r *Result) BalanceRatio() float64 {
+	if r.NonZeroTiles == 0 {
+		return 1
+	}
+	return r.sumBalance / float64(r.NonZeroTiles)
+}
+
+// Seconds returns the modelled wall time of the run.
+func (r *Result) Seconds() float64 { return r.cfg.CycleSeconds(r.PipelinedCycles) }
+
+// Throughput returns processed bytes (data plus metadata) per second —
+// the §4.2 throughput metric, which reflects pipeline bubbles caused by
+// imbalance.
+func (r *Result) Throughput() float64 {
+	s := r.Seconds()
+	if s == 0 {
+		return 0
+	}
+	return float64(r.Footprint.TotalBytes()) / s
+}
+
+// BandwidthUtilization returns useful bytes over all transmitted bytes.
+func (r *Result) BandwidthUtilization() float64 { return r.Footprint.Utilization() }
+
+// MeanMemCycles returns the average per-tile memory latency (Fig. 8 x
+// axis).
+func (r *Result) MeanMemCycles() float64 {
+	if r.NonZeroTiles == 0 {
+		return 0
+	}
+	return float64(r.MemCycles) / float64(r.NonZeroTiles)
+}
+
+// MeanComputeCycles returns the average per-tile compute latency (Fig. 8
+// y axis).
+func (r *Result) MeanComputeCycles() float64 {
+	if r.NonZeroTiles == 0 {
+		return 0
+	}
+	return float64(r.ComputeCycles) / float64(r.NonZeroTiles)
+}
+
+// DotEngineUtilization returns the fraction of the p-wide dot-product
+// engine's multiplier slots that carried real non-zeros, over all
+// performed dot products. §5.1: "the partition density and, more
+// specifically the row density, defines the computation utilization of
+// the dot-product engine at run time."
+func (r *Result) DotEngineUtilization() float64 {
+	if r.DotRows == 0 {
+		return 0
+	}
+	return float64(r.NNZ) / float64(r.DotRows*uint64(r.P))
+}
+
+// InnerPipelineUtilization returns the fraction of partition rows that
+// actually occupied the decompress→dot inner pipeline. §5.1: "the
+// number of non-zero rows in the partitions determines the utilization
+// of the inner pipeline."
+func (r *Result) InnerPipelineUtilization() float64 {
+	if r.NonZeroTiles == 0 {
+		return 0
+	}
+	return float64(r.DotRows) / float64(uint64(r.NonZeroTiles)*uint64(r.P))
+}
+
+// RunTile models one encoded tile without touching vectors.
+func RunTile(cfg Config, enc formats.Encoded) TileResult {
+	return TileResult{
+		MemCycles:     cfg.MemCycles(enc),
+		DecompCycles:  cfg.DecompCycles(enc),
+		ComputeCycles: cfg.ComputeCycles(enc),
+		DotRows:       enc.Stats().DotRows,
+		Footprint:     enc.Footprint(),
+	}
+}
+
+// Run streams every non-zero partition of m through the modelled
+// accelerator in format k with partition size p, multiplying by x. It
+// returns the functional SpMV result alongside the aggregated performance
+// model. The encoded streams are decoded back through the format's
+// decoder — any corruption surfaces as an error rather than a wrong
+// answer.
+func Run(cfg Config, m *matrix.CSR, k formats.Kind, p int, x []float64) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(x) != m.Cols {
+		return nil, fmt.Errorf("hlsim: vector length %d for %d-column matrix", len(x), m.Cols)
+	}
+	pt := matrix.Partition(m, p)
+	r := &Result{
+		Kind:         k,
+		P:            p,
+		Y:            make([]float64, m.Rows),
+		NonZeroTiles: len(pt.Tiles),
+		TotalTiles:   pt.TotalTiles,
+		cfg:          cfg,
+	}
+	for _, tile := range pt.Tiles {
+		enc := formats.Encode(k, tile)
+		tr := RunTile(cfg, enc)
+		r.MemCycles += uint64(tr.MemCycles)
+		r.ComputeCycles += uint64(tr.ComputeCycles)
+		r.DecompCycles += uint64(tr.DecompCycles)
+		r.PipelinedCycles += uint64(max(tr.MemCycles, tr.ComputeCycles))
+		if tr.MemCycles > tr.ComputeCycles {
+			r.IdleComputeCycles += uint64(tr.MemCycles - tr.ComputeCycles)
+		} else {
+			r.StallMemCycles += uint64(tr.ComputeCycles - tr.MemCycles)
+		}
+		r.DotRows += uint64(tr.DotRows)
+		r.NNZ += uint64(enc.Stats().NNZ)
+		r.Footprint.UsefulBytes += tr.Footprint.UsefulBytes
+		r.Footprint.MetaBytes += tr.Footprint.MetaBytes
+		r.Footprint.ValueLaneBytes += tr.Footprint.ValueLaneBytes
+		r.Footprint.IndexLaneBytes += tr.Footprint.IndexLaneBytes
+		r.sumBalance += tr.Balance()
+
+		// Functional path: decompress and feed the dot-product engine.
+		dec, err := enc.Decode()
+		if err != nil {
+			return nil, fmt.Errorf("hlsim: tile (%d,%d): %w", tile.Row, tile.Col, err)
+		}
+		for i := 0; i < p; i++ {
+			gi := tile.Row + i
+			if gi >= m.Rows {
+				break
+			}
+			s := 0.0
+			for j := 0; j < p; j++ {
+				gj := tile.Col + j
+				if gj >= m.Cols {
+					break
+				}
+				s += dec.At(i, j) * x[gj]
+			}
+			r.Y[gi] += s
+		}
+	}
+	return r, nil
+}

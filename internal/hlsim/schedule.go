@@ -1,0 +1,110 @@
+package hlsim
+
+import (
+	"fmt"
+
+	"copernicus/internal/formats"
+	"copernicus/internal/matrix"
+)
+
+// StageTimes are one tile's scheduled intervals on the three-stage
+// high-level pipeline of Fig. 2 ❶: memory read, compute (decompress +
+// dot products), and memory write of the partial output vector.
+type StageTimes struct {
+	MemStart, MemEnd         uint64
+	ComputeStart, ComputeEnd uint64
+	WriteStart, WriteEnd     uint64
+}
+
+// Schedule is the event-level timeline of a full streaming run: each
+// stage processes tiles in order, a tile enters a stage only after the
+// previous stage finished it and the stage finished the previous tile
+// (a FIFO of depth one between stages, as in Fig. 2). It refines the
+// Σ max(mem, compute) approximation used by Run: the Makespan accounts
+// for pipeline fill, drain, and writeback overlap exactly.
+type Schedule struct {
+	Kind  formats.Kind
+	P     int
+	Tiles []StageTimes
+	// Makespan is the end of the last writeback.
+	Makespan uint64
+	cfg      Config
+}
+
+// Seconds converts the makespan to modelled wall time.
+func (s *Schedule) Seconds() float64 { return s.cfg.CycleSeconds(s.Makespan) }
+
+// writeCycles is the writeback cost of one tile: the partial output
+// vector (p words) plus burst overhead on the write lane.
+func (c Config) writeCycles(p int) int {
+	return ceilDiv(p*matrix.BytesPerValue, c.AXIBytesPerCycle) + c.BurstOverhead
+}
+
+// BuildSchedule computes the event-level pipeline timeline for a run.
+func BuildSchedule(cfg Config, m *matrix.CSR, k formats.Kind, p int) (*Schedule, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	pt := matrix.Partition(m, p)
+	s := &Schedule{Kind: k, P: p, Tiles: make([]StageTimes, 0, len(pt.Tiles)), cfg: cfg}
+	var memFree, compFree, writeFree uint64
+	for _, tile := range pt.Tiles {
+		enc := formats.Encode(k, tile)
+		tr := RunTile(cfg, enc)
+		var st StageTimes
+		st.MemStart = memFree
+		st.MemEnd = st.MemStart + uint64(tr.MemCycles)
+		memFree = st.MemEnd
+
+		st.ComputeStart = max64(st.MemEnd, compFree)
+		st.ComputeEnd = st.ComputeStart + uint64(tr.ComputeCycles)
+		compFree = st.ComputeEnd
+
+		st.WriteStart = max64(st.ComputeEnd, writeFree)
+		st.WriteEnd = st.WriteStart + uint64(cfg.writeCycles(p))
+		writeFree = st.WriteEnd
+
+		s.Tiles = append(s.Tiles, st)
+	}
+	s.Makespan = writeFree
+	return s, nil
+}
+
+// Validate checks the schedule's structural invariants: stage intervals
+// are well-formed, per-stage processing is serial and in order, and
+// every tile flows strictly forward through the pipeline.
+func (s *Schedule) Validate() error {
+	var memFree, compFree, writeFree uint64
+	for i, t := range s.Tiles {
+		if t.MemEnd < t.MemStart || t.ComputeEnd < t.ComputeStart || t.WriteEnd < t.WriteStart {
+			return fmt.Errorf("hlsim: tile %d has a negative interval", i)
+		}
+		if t.MemStart < memFree || t.ComputeStart < compFree || t.WriteStart < writeFree {
+			return fmt.Errorf("hlsim: tile %d overlaps its predecessor on a stage", i)
+		}
+		if t.ComputeStart < t.MemEnd || t.WriteStart < t.ComputeEnd {
+			return fmt.Errorf("hlsim: tile %d enters a stage before leaving the previous", i)
+		}
+		memFree, compFree, writeFree = t.MemEnd, t.ComputeEnd, t.WriteEnd
+	}
+	if len(s.Tiles) > 0 && s.Makespan != s.Tiles[len(s.Tiles)-1].WriteEnd {
+		return fmt.Errorf("hlsim: makespan %d does not match final writeback", s.Makespan)
+	}
+	return nil
+}
+
+// StageUtilization returns the busy fraction of each stage over the
+// makespan.
+func (s *Schedule) StageUtilization() (mem, compute, write float64) {
+	if s.Makespan == 0 {
+		return 0, 0, 0
+	}
+	var m, c, w uint64
+	for _, t := range s.Tiles {
+		m += t.MemEnd - t.MemStart
+		c += t.ComputeEnd - t.ComputeStart
+		w += t.WriteEnd - t.WriteStart
+	}
+	span := float64(s.Makespan)
+	return float64(m) / span, float64(c) / span, float64(w) / span
+}

@@ -1,0 +1,123 @@
+package hlsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"copernicus/internal/formats"
+	"copernicus/internal/gen"
+)
+
+func TestScheduleInvariants(t *testing.T) {
+	cfg := Default()
+	for _, k := range formats.Core() {
+		m := gen.Random(128, 0.05, 3)
+		s, err := BuildSchedule(cfg, m, k, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+	}
+}
+
+// TestScheduleBoundsVsApproximation: the exact makespan must be at
+// least the bottleneck stage's total work and at most the serialized
+// sum of all stages.
+func TestScheduleBoundsVsApproximation(t *testing.T) {
+	cfg := Default()
+	check := func(seed uint64) bool {
+		m := gen.Random(96, 0.08, seed)
+		x := make([]float64, m.Cols)
+		for _, k := range []formats.Kind{formats.CSR, formats.Dense, formats.CSC} {
+			s, err := BuildSchedule(cfg, m, k, 16)
+			if err != nil {
+				return false
+			}
+			run, err := Run(cfg, m, k, 16, x)
+			if err != nil {
+				return false
+			}
+			wb := uint64(run.NonZeroTiles * cfg.writeCycles(16))
+			lower := max64(run.MemCycles, run.ComputeCycles)
+			if wb > lower {
+				lower = wb
+			}
+			upper := run.MemCycles + run.ComputeCycles + wb
+			if s.Makespan < lower || s.Makespan > upper {
+				t.Logf("%v: makespan %d outside [%d, %d]", k, s.Makespan, lower, upper)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSchedulePipeliningHelps: the pipelined makespan beats fully
+// serialized execution on any multi-tile run.
+func TestSchedulePipeliningHelps(t *testing.T) {
+	cfg := Default()
+	m := gen.Random(256, 0.05, 7)
+	s, err := BuildSchedule(cfg, m, formats.CSR, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var serial uint64
+	for _, tile := range s.Tiles {
+		serial += (tile.MemEnd - tile.MemStart) +
+			(tile.ComputeEnd - tile.ComputeStart) +
+			(tile.WriteEnd - tile.WriteStart)
+	}
+	if s.Makespan >= serial {
+		t.Fatalf("pipelining gained nothing: makespan %d vs serial %d", s.Makespan, serial)
+	}
+}
+
+// TestScheduleBottleneckStageSaturated: for a strongly compute-bound
+// format the compute stage utilization approaches 1.
+func TestScheduleBottleneckStageSaturated(t *testing.T) {
+	cfg := Default()
+	m := gen.Random(256, 0.1, 9)
+	s, err := BuildSchedule(cfg, m, formats.CSC, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, compute, _ := s.StageUtilization()
+	if compute < 0.95 {
+		t.Fatalf("CSC compute utilization %.3f, want ≈1 (bottleneck stage)", compute)
+	}
+	// Dense at p=32 is memory-bound: the memory stage saturates instead.
+	s, err = BuildSchedule(cfg, m, formats.Dense, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem, _, _ := s.StageUtilization()
+	if mem < 0.9 {
+		t.Fatalf("dense p=32 memory utilization %.3f, want ≈1", mem)
+	}
+}
+
+func TestScheduleEmptyMatrix(t *testing.T) {
+	s, err := BuildSchedule(Default(), gen.Random(64, 0, 1), formats.COO, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan != 0 || len(s.Tiles) != 0 {
+		t.Fatalf("empty matrix schedule %+v", s)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleRejectsInvalidConfig(t *testing.T) {
+	bad := Default()
+	bad.AXIBytesPerCycle = 0
+	if _, err := BuildSchedule(bad, gen.Random(16, 0.2, 1), formats.CSR, 8); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}

@@ -1,0 +1,105 @@
+package hlsim
+
+import (
+	"fmt"
+
+	"copernicus/internal/formats"
+	"copernicus/internal/matrix"
+)
+
+// SpMMResult models sparse-matrix × dense-matrix multiplication on the
+// same pipeline (§3.3: ML workloads use SpMV or SpMM on one dot-product
+// engine). Each tile is decompressed once and its reconstructed rows
+// feed one dot product per operand column, so T_decomp amortizes over
+// the columns — the structural reason batched inference tolerates
+// compute-heavy formats better than single-vector SpMV.
+type SpMMResult struct {
+	Kind    formats.Kind
+	P       int
+	Columns int
+
+	// Y is the m.Rows × Columns product, row-major. The operand matrix
+	// is treated as resident, like Run's x vector.
+	Y []float64
+
+	NonZeroTiles    int
+	MemCycles       uint64
+	ComputeCycles   uint64
+	DecompCycles    uint64
+	PipelinedCycles uint64
+
+	cfg Config
+}
+
+// Seconds returns the modelled wall time.
+func (r *SpMMResult) Seconds() float64 { return r.cfg.CycleSeconds(r.PipelinedCycles) }
+
+// SigmaPerColumn is the per-column decompression overhead: Eq. (1) with
+// T_decomp divided across the operand columns. At Columns=1 it equals
+// the SpMV σ; it approaches DotRows/p as Columns grows.
+func (r *SpMMResult) SigmaPerColumn(dotRows uint64) float64 {
+	if r.NonZeroTiles == 0 {
+		return 1
+	}
+	td := uint64(r.cfg.DotLatency(r.P))
+	denom := float64(uint64(r.NonZeroTiles) * uint64(r.P) * td)
+	amortized := float64(r.DecompCycles)/float64(r.Columns) + float64(dotRows*td)
+	return amortized / denom
+}
+
+// RunSpMM multiplies m by the dense operand b (m.Cols × cols, row-major)
+// through the modelled pipeline in format k at partition size p.
+func RunSpMM(cfg Config, m *matrix.CSR, k formats.Kind, p int, b []float64, cols int) (*SpMMResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cols < 1 {
+		return nil, fmt.Errorf("hlsim: RunSpMM with %d columns", cols)
+	}
+	if len(b) != m.Cols*cols {
+		return nil, fmt.Errorf("hlsim: operand is %d values, want %d×%d", len(b), m.Cols, cols)
+	}
+	pt := matrix.Partition(m, p)
+	r := &SpMMResult{
+		Kind: k, P: p, Columns: cols,
+		Y:            make([]float64, m.Rows*cols),
+		NonZeroTiles: len(pt.Tiles),
+		cfg:          cfg,
+	}
+	td := cfg.DotLatency(p)
+	for _, tile := range pt.Tiles {
+		enc := formats.Encode(k, tile)
+		mem := cfg.MemCycles(enc)
+		dec := cfg.DecompCycles(enc)
+		comp := dec + enc.Stats().DotRows*cols*td
+		r.MemCycles += uint64(mem)
+		r.DecompCycles += uint64(dec)
+		r.ComputeCycles += uint64(comp)
+		r.PipelinedCycles += uint64(max(mem, comp))
+
+		dt, err := enc.Decode()
+		if err != nil {
+			return nil, fmt.Errorf("hlsim: tile (%d,%d): %w", tile.Row, tile.Col, err)
+		}
+		for i := 0; i < p; i++ {
+			gi := tile.Row + i
+			if gi >= m.Rows {
+				break
+			}
+			for j := 0; j < p; j++ {
+				gj := tile.Col + j
+				if gj >= m.Cols {
+					break
+				}
+				v := dt.At(i, j)
+				if v == 0 {
+					continue
+				}
+				for c := 0; c < cols; c++ {
+					r.Y[gi*cols+c] += v * b[gj*cols+c]
+				}
+			}
+		}
+	}
+	return r, nil
+}

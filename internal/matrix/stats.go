@@ -1,0 +1,60 @@
+package matrix
+
+// PartitionStats are the three raw workload statistics of Fig. 3, computed
+// over the non-zero partitions of a matrix. The paper reads evaluation
+// results "along with" these statistics: partition density drives memory
+// traffic, row density drives dot-product-engine utilization, and the
+// non-zero-row fraction drives inner-pipeline utilization.
+type PartitionStats struct {
+	P int // partition size the statistics were computed for
+
+	// PartitionDensity is the average fraction of non-zero values in
+	// non-zero partitions (Fig. 3a).
+	PartitionDensity float64
+	// RowDensity is the average fraction of non-zero values within the
+	// non-zero rows of non-zero partitions (Fig. 3b).
+	RowDensity float64
+	// NonZeroRowFrac is the average fraction of non-zero rows per
+	// non-zero partition (Fig. 3c).
+	NonZeroRowFrac float64
+
+	// NonZeroTiles and TotalTiles describe the partition-grid occupancy;
+	// all-zero tiles are skipped by the streaming pipeline.
+	NonZeroTiles int
+	TotalTiles   int
+}
+
+// Stats computes the Fig. 3 statistics for an existing partitioning.
+func (pt *Partitioning) Stats() PartitionStats {
+	s := PartitionStats{P: pt.P, NonZeroTiles: len(pt.Tiles), TotalTiles: pt.TotalTiles}
+	if len(pt.Tiles) == 0 {
+		return s
+	}
+	var sumDensity, sumRowDensity, sumNZRows float64
+	for _, t := range pt.Tiles {
+		s.NonZeroTiles = len(pt.Tiles)
+		sumDensity += t.Density()
+		nzr := 0
+		rowNNZ := 0
+		for i := 0; i < t.P; i++ {
+			if n := t.RowNNZ(i); n > 0 {
+				nzr++
+				rowNNZ += n
+			}
+		}
+		if nzr > 0 {
+			sumRowDensity += float64(rowNNZ) / float64(nzr*t.P)
+		}
+		sumNZRows += float64(nzr) / float64(t.P)
+	}
+	n := float64(len(pt.Tiles))
+	s.PartitionDensity = sumDensity / n
+	s.RowDensity = sumRowDensity / n
+	s.NonZeroRowFrac = sumNZRows / n
+	return s
+}
+
+// StatsFor partitions m at size p and returns the Fig. 3 statistics.
+func StatsFor(m *CSR, p int) PartitionStats {
+	return Partition(m, p).Stats()
+}

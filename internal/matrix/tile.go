@@ -1,0 +1,188 @@
+package matrix
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Tile is one dense p×p partition of a larger sparse matrix. Copernicus
+// applies every compression format to non-zero partitions rather than to
+// the whole matrix (§4.1): partitioning bounds metadata growth, enables
+// coarse-grained parallelism, and lets all-zero partitions be skipped
+// entirely.
+//
+// Val is row-major and includes the partition's zeros; format encoders
+// decide what to store. Tiles on the matrix boundary are zero-padded to the
+// full p×p shape, matching the hardware's fixed-width dot-product engine.
+type Tile struct {
+	P        int       // partition edge length
+	Row, Col int       // origin of the tile in the parent matrix
+	Val      []float64 // P*P row-major values
+	nnz      int
+}
+
+// NewTile returns an all-zero p×p tile at the given origin.
+func NewTile(p, row, col int) *Tile {
+	if p <= 0 {
+		panic(fmt.Sprintf("matrix: NewTile with p=%d", p))
+	}
+	return &Tile{P: p, Row: row, Col: col, Val: make([]float64, p*p)}
+}
+
+// Set stores v at local coordinates (i, j), maintaining the nnz count.
+func (t *Tile) Set(i, j int, v float64) {
+	k := i*t.P + j
+	old := t.Val[k]
+	if old != 0 && v == 0 {
+		t.nnz--
+	} else if old == 0 && v != 0 {
+		t.nnz++
+	}
+	t.Val[k] = v
+}
+
+// At returns the value at local coordinates (i, j).
+func (t *Tile) At(i, j int) float64 { return t.Val[i*t.P+j] }
+
+// NNZ returns the number of non-zero entries in the tile.
+func (t *Tile) NNZ() int { return t.nnz }
+
+// Density returns NNZ / P².
+func (t *Tile) Density() float64 { return float64(t.nnz) / float64(t.P*t.P) }
+
+// RowNNZ returns the number of non-zeros in local row i.
+func (t *Tile) RowNNZ(i int) int {
+	n := 0
+	for j := 0; j < t.P; j++ {
+		if t.Val[i*t.P+j] != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// NonZeroRows returns the count of rows with at least one non-zero. This
+// drives both the dot-product count in Eq. (1) and the inner-pipeline
+// utilization discussed in §5.1.
+func (t *Tile) NonZeroRows() int {
+	n := 0
+	for i := 0; i < t.P; i++ {
+		if t.RowNNZ(i) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Clone returns a deep copy of the tile.
+func (t *Tile) Clone() *Tile {
+	c := &Tile{P: t.P, Row: t.Row, Col: t.Col, Val: make([]float64, len(t.Val)), nnz: t.nnz}
+	copy(c.Val, t.Val)
+	return c
+}
+
+// EqualValues reports whether two tiles hold identical values (origin and
+// size included).
+func (t *Tile) EqualValues(o *Tile) bool {
+	if t.P != o.P || t.Row != o.Row || t.Col != o.Col || len(t.Val) != len(o.Val) {
+		return false
+	}
+	for i, v := range t.Val {
+		if v != o.Val[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TileAt extracts the p×p tile of m anchored at (row, col), zero-padded
+// past the matrix boundary.
+func TileAt(m *CSR, row, col, p int) *Tile {
+	t := NewTile(p, row, col)
+	for i := 0; i < p; i++ {
+		gi := row + i
+		if gi < 0 || gi >= m.Rows {
+			continue
+		}
+		for k := m.RowPtr[gi]; k < m.RowPtr[gi+1]; k++ {
+			if j := m.Col[k] - col; j >= 0 && j < p {
+				t.Set(i, j, m.Val[k])
+			}
+		}
+	}
+	return t
+}
+
+// Partitioning groups a matrix's non-zero tiles together with the grid
+// geometry needed to reassemble or stream them.
+type Partitioning struct {
+	P          int // partition edge length
+	GridRows   int // ceil(Rows/P)
+	GridCols   int // ceil(Cols/P)
+	Tiles      []*Tile
+	TotalTiles int // GridRows*GridCols, including all-zero tiles
+}
+
+// ZeroTiles returns the number of all-zero partitions, which the streaming
+// pipeline never transfers.
+func (pt *Partitioning) ZeroTiles() int { return pt.TotalTiles - len(pt.Tiles) }
+
+// Partition extracts all non-zero p×p tiles of m in block-row-major order.
+// Boundary tiles are zero-padded. The tiles reassemble exactly to m (see
+// Assemble), a property the test suite checks by round-trip.
+func Partition(m *CSR, p int) *Partitioning {
+	if p <= 0 {
+		panic(fmt.Sprintf("matrix: Partition with p=%d", p))
+	}
+	gr := (m.Rows + p - 1) / p
+	gc := (m.Cols + p - 1) / p
+	pt := &Partitioning{P: p, GridRows: gr, GridCols: gc, TotalTiles: gr * gc}
+
+	for br := 0; br < gr; br++ {
+		rowEnd := min((br+1)*p, m.Rows)
+		// Gather this block-row's entries into tiles keyed by block column.
+		byCol := make(map[int]*Tile)
+		for i := br * p; i < rowEnd; i++ {
+			for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+				bc := m.Col[k] / p
+				t, ok := byCol[bc]
+				if !ok {
+					t = NewTile(p, br*p, bc*p)
+					byCol[bc] = t
+				}
+				t.Set(i-br*p, m.Col[k]-bc*p, m.Val[k])
+			}
+		}
+		cols := make([]int, 0, len(byCol))
+		for bc := range byCol {
+			cols = append(cols, bc)
+		}
+		sort.Ints(cols)
+		for _, bc := range cols {
+			pt.Tiles = append(pt.Tiles, byCol[bc])
+		}
+	}
+	return pt
+}
+
+// Assemble rebuilds the full matrix from a partitioning. Used to verify
+// that Partition is lossless.
+func (pt *Partitioning) Assemble(rows, cols int) *CSR {
+	b := NewBuilder(rows, cols)
+	for _, t := range pt.Tiles {
+		for i := 0; i < t.P; i++ {
+			gi := t.Row + i
+			if gi >= rows {
+				break
+			}
+			for j := 0; j < t.P; j++ {
+				gj := t.Col + j
+				if gj >= cols {
+					break
+				}
+				b.Add(gi, gj, t.Val[i*t.P+j])
+			}
+		}
+	}
+	return b.Build()
+}

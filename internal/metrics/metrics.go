@@ -1,0 +1,93 @@
+// Package metrics provides the aggregation and normalization helpers
+// behind the paper's cross-metric comparisons: geometric means (the
+// GEOMEAN bar of Fig. 4) and the min-max normalization of Fig. 14, where
+// every metric is rescaled so 1 is the best achieved value and 0 the
+// worst.
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Direction states whether larger or smaller raw values are better, or
+// whether the ideal is a target value (the balance ratio's ideal is 1).
+type Direction int
+
+// Directions for Normalize.
+const (
+	HigherBetter Direction = iota
+	LowerBetter
+	// TargetOne scores values by closeness to 1 on a log scale, the
+	// natural reading of the balance ratio where 2× memory-bound and 2×
+	// compute-bound are equally imbalanced.
+	TargetOne
+)
+
+// Geomean returns the geometric mean of strictly positive values, the
+// aggregation Fig. 4 uses across SuiteSparse workloads.
+func Geomean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vs {
+		if v <= 0 {
+			panic(fmt.Sprintf("metrics: Geomean of non-positive value %v", v))
+		}
+		sum += math.Log(v)
+	}
+	return math.Exp(sum / float64(len(vs)))
+}
+
+// Mean returns the arithmetic mean, 0 for an empty slice.
+func Mean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vs {
+		sum += v
+	}
+	return sum / float64(len(vs))
+}
+
+// Normalize rescales raw metric values to [0, 1] with 1 best and 0 worst
+// (Fig. 14). All-equal inputs map to all-1 (every format achieved the
+// best). TargetOne first maps values to -|ln v| so the score peaks at
+// raw value 1.
+func Normalize(raw []float64, dir Direction) []float64 {
+	if len(raw) == 0 {
+		return nil
+	}
+	score := make([]float64, len(raw))
+	for i, v := range raw {
+		switch dir {
+		case HigherBetter:
+			score[i] = v
+		case LowerBetter:
+			score[i] = -v
+		case TargetOne:
+			if v <= 0 {
+				panic(fmt.Sprintf("metrics: TargetOne value %v must be positive", v))
+			}
+			score[i] = -math.Abs(math.Log(v))
+		}
+	}
+	lo, hi := score[0], score[0]
+	for _, s := range score[1:] {
+		lo = math.Min(lo, s)
+		hi = math.Max(hi, s)
+	}
+	out := make([]float64, len(score))
+	if hi == lo {
+		for i := range out {
+			out[i] = 1
+		}
+		return out
+	}
+	for i, s := range score {
+		out[i] = (s - lo) / (hi - lo)
+	}
+	return out
+}

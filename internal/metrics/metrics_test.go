@@ -1,0 +1,137 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"copernicus/internal/xrand"
+)
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Fatalf("Geomean(2,8) = %v, want 4", g)
+	}
+	if g := Geomean([]float64{5}); g != 5 {
+		t.Fatalf("Geomean(5) = %v", g)
+	}
+	if g := Geomean(nil); g != 0 {
+		t.Fatalf("Geomean(nil) = %v, want 0", g)
+	}
+}
+
+func TestGeomeanPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Geomean of 0 did not panic")
+		}
+	}()
+	Geomean([]float64{1, 0})
+}
+
+func TestGeomeanBetweenMinMax(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := xrand.New(seed)
+		vs := make([]float64, 1+r.Intn(10))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := range vs {
+			vs[i] = 0.01 + 10*r.Float64()
+			lo = math.Min(lo, vs[i])
+			hi = math.Max(hi, vs[i])
+		}
+		g := Geomean(vs)
+		return g >= lo-1e-12 && g <= hi+1e-12
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if m := Mean([]float64{1, 2, 3}); m != 2 {
+		t.Fatalf("Mean = %v", m)
+	}
+	if m := Mean(nil); m != 0 {
+		t.Fatalf("Mean(nil) = %v", m)
+	}
+}
+
+func TestNormalizeHigherBetter(t *testing.T) {
+	out := Normalize([]float64{1, 3, 2}, HigherBetter)
+	want := []float64{0, 1, 0.5}
+	for i := range want {
+		if math.Abs(out[i]-want[i]) > 1e-12 {
+			t.Fatalf("out[%d] = %v, want %v", i, out[i], want[i])
+		}
+	}
+}
+
+func TestNormalizeLowerBetter(t *testing.T) {
+	out := Normalize([]float64{1, 3, 2}, LowerBetter)
+	if out[0] != 1 || out[1] != 0 {
+		t.Fatalf("LowerBetter: %v", out)
+	}
+}
+
+func TestNormalizeTargetOne(t *testing.T) {
+	// 1.0 is ideal; 0.5 and 2.0 are equally imbalanced; 4.0 is worst.
+	out := Normalize([]float64{1, 0.5, 2, 4}, TargetOne)
+	if out[0] != 1 {
+		t.Fatalf("ideal balance scored %v, want 1", out[0])
+	}
+	if math.Abs(out[1]-out[2]) > 1e-12 {
+		t.Fatalf("0.5 and 2.0 scored differently: %v vs %v", out[1], out[2])
+	}
+	if out[3] != 0 {
+		t.Fatalf("worst balance scored %v, want 0", out[3])
+	}
+}
+
+func TestNormalizeAllEqual(t *testing.T) {
+	out := Normalize([]float64{2, 2, 2}, LowerBetter)
+	for _, v := range out {
+		if v != 1 {
+			t.Fatalf("all-equal input produced %v", out)
+		}
+	}
+}
+
+func TestNormalizeBoundsProperty(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := xrand.New(seed)
+		vs := make([]float64, 2+r.Intn(8))
+		for i := range vs {
+			vs[i] = 0.1 + 5*r.Float64()
+		}
+		for _, dir := range []Direction{HigherBetter, LowerBetter, TargetOne} {
+			out := Normalize(vs, dir)
+			hasOne, hasZero := false, false
+			for _, v := range out {
+				if v < 0 || v > 1 {
+					return false
+				}
+				if v == 1 {
+					hasOne = true
+				}
+				if v == 0 {
+					hasZero = true
+				}
+			}
+			// Unless degenerate, both extremes must be hit.
+			if !hasOne {
+				return false
+			}
+			_ = hasZero
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalizeEmpty(t *testing.T) {
+	if out := Normalize(nil, HigherBetter); out != nil {
+		t.Fatalf("Normalize(nil) = %v", out)
+	}
+}

@@ -1,0 +1,83 @@
+package mtx
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"copernicus/internal/matrix"
+)
+
+// FuzzRead: the parser must never panic on arbitrary text; on success
+// the result must be a valid CSR matrix that survives a Write/Read
+// round trip.
+func FuzzRead(f *testing.F) {
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 1.5\n")
+	f.Add("%%MatrixMarket matrix coordinate pattern symmetric\n3 3 1\n2 1\n")
+	f.Add("%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 1\n2 1 -4\n")
+	f.Add("")
+	f.Add("%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 nan\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n-5 2 1\n1 1 1\n")
+	f.Add("% comment only\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		// Pre-screen the size line: Read legitimately allocates O(rows)
+		// (SuiteSparse files reach 50M rows), which a fuzz box cannot
+		// afford. Skip inputs declaring huge dimensions; correctness on
+		// them is plain allocation, not parsing.
+		if oversizedHeader(in, 1<<20) {
+			return
+		}
+		m, err := Read(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if verr := m.Validate(); verr != nil {
+			t.Fatalf("parser accepted an invalid matrix: %v", verr)
+		}
+		if m.Rows > 1<<16 || m.Cols > 1<<16 {
+			return // skip pathological sizes for the round trip
+		}
+		var buf bytes.Buffer
+		if werr := Write(&buf, m); werr != nil {
+			t.Fatalf("write of parsed matrix failed: %v", werr)
+		}
+		back, rerr := Read(&buf)
+		if rerr != nil {
+			t.Fatalf("round trip re-read failed: %v", rerr)
+		}
+		if !matrix.Equal(m, back, 0) {
+			// NaN values legitimately break equality; everything else
+			// must round trip.
+			if !containsNaN(m) {
+				t.Fatal("round trip mismatch")
+			}
+		}
+	})
+}
+
+// oversizedHeader reports whether the first non-comment line after the
+// banner declares a dimension above the cap.
+func oversizedHeader(in string, cap int) bool {
+	lines := strings.Split(in, "\n")
+	for i, line := range lines {
+		if i == 0 || strings.HasPrefix(strings.TrimSpace(line), "%") || strings.TrimSpace(line) == "" {
+			continue
+		}
+		var r, c, n int
+		if _, err := fmt.Sscan(line, &r, &c, &n); err != nil {
+			return false // Read will reject it anyway
+		}
+		return r > cap || c > cap || n > cap
+	}
+	return false
+}
+
+func containsNaN(m *matrix.CSR) bool {
+	for _, v := range m.Val {
+		if v != v {
+			return true
+		}
+	}
+	return false
+}

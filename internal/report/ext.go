@@ -1,0 +1,269 @@
+package report
+
+import (
+	"fmt"
+
+	"copernicus/internal/formats"
+	"copernicus/internal/gen"
+	"copernicus/internal/hlsim"
+	"copernicus/internal/matrix"
+	"copernicus/internal/metrics"
+	"copernicus/internal/workloads"
+)
+
+// Extension artifacts: experiments beyond the paper's figures, covering
+// the §2 variant formats and the §5.1 coarse-grained aggregation the
+// paper describes but does not measure. They share the harness and CLI
+// but live under ext* ids so the paper index stays exact.
+
+// ExtOrder lists the extension experiments.
+var ExtOrder = []string{"ext1", "ext2", "ext3", "ext4", "ext5", "ext6", "ext7"}
+
+func init() {
+	Generators["ext1"] = Ext1
+	Generators["ext2"] = Ext2
+	Generators["ext3"] = Ext3
+	Generators["ext4"] = Ext4
+	Generators["ext5"] = Ext5
+	Generators["ext6"] = Ext6
+	Generators["ext7"] = Ext7
+}
+
+// Ext1 compares σ across all implemented formats — the paper's seven
+// plus DOK and the ELL-variant extensions — on the three suites at
+// 16×16 partitions.
+func Ext1(o *Options) (Table, error) {
+	t := Table{
+		ID:     "ext1",
+		Title:  "Extension: sigma across all implemented formats, partition 16x16",
+		Header: []string{"suite"},
+	}
+	for _, k := range formats.All() {
+		t.Header = append(t.Header, k.String())
+	}
+	for _, suite := range SuiteNames {
+		rs, err := o.Engine.Sweep(o.suite(suite), formats.All(), []int{16})
+		if err != nil {
+			return Table{}, err
+		}
+		byF := byFormat(rs)
+		row := []string{suite}
+		for _, k := range formats.All() {
+			var vals []float64
+			for _, r := range byF[k] {
+				vals = append(vals, r.Sigma)
+			}
+			row = append(row, f2(metrics.Mean(vals)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"DOK scans its hash table like COO scans tuples; SELL/ELL+COO/JDS/SELL-C-sigma trade ELL padding for metadata")
+	return t, nil
+}
+
+// Ext2 compares bandwidth utilization across all implemented formats on
+// the three suites at 16×16 partitions.
+func Ext2(o *Options) (Table, error) {
+	t := Table{
+		ID:     "ext2",
+		Title:  "Extension: bandwidth utilization across all implemented formats, partition 16x16",
+		Header: []string{"suite"},
+	}
+	for _, k := range formats.All() {
+		t.Header = append(t.Header, k.String())
+	}
+	for _, suite := range SuiteNames {
+		rs, err := o.Engine.Sweep(o.suite(suite), formats.All(), []int{16})
+		if err != nil {
+			return Table{}, err
+		}
+		byF := byFormat(rs)
+		row := []string{suite}
+		for _, k := range formats.All() {
+			var vals []float64
+			for _, r := range byF[k] {
+				vals = append(vals, r.BandwidthUtil)
+			}
+			row = append(row, f4(metrics.Mean(vals)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Ext4 tests the paper's first §8 insight directly: "memory bandwidth
+// is not always the bottleneck; the performance of sparse problems
+// cannot always be improved by simply adding more memory bandwidth."
+// It sweeps the AXI streamline width and reports each format's total
+// modelled time: the dense baseline keeps improving (memory-bound)
+// while the compute-bound decompressors saturate.
+func Ext4(o *Options) (Table, error) {
+	t := Table{
+		ID:     "ext4",
+		Title:  "Extension: sensitivity to memory bandwidth (Sec 8 insight 1)",
+		Header: []string{"axi_bytes_per_cycle", "format", "seconds", "balance"},
+	}
+	dim := o.WL.RandomDim
+	if dim <= 0 {
+		dim = workloads.DefaultConfig().RandomDim
+	}
+	m := gen.Random(dim, 0.05, o.WL.Seed+0xE48)
+	x := make([]float64, m.Cols)
+	for _, width := range []int{4, 8, 16, 32} {
+		cfg := o.Engine.Config()
+		cfg.AXIBytesPerCycle = width
+		for _, k := range []formats.Kind{formats.Dense, formats.CSR, formats.CSC, formats.COO} {
+			r, err := hlsim.Run(cfg, m, k, 16, x)
+			if err != nil {
+				return Table{}, err
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%d", width), k.String(),
+				fmt.Sprintf("%.3e", r.Seconds()), f3(r.BalanceRatio()),
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"a compute-bound format's latency saturates as bandwidth grows; only the memory-bound dense baseline keeps scaling")
+	return t, nil
+}
+
+// Ext5 reports the §5.1 run-time utilizations per format and suite at
+// 16×16 partitions: how full the dot-product engine's multiplier slots
+// are (driven by row density, Fig. 3b) and how occupied the inner
+// pipeline is (driven by non-zero rows, Fig. 3c).
+func Ext5(o *Options) (Table, error) {
+	t := Table{
+		ID:     "ext5",
+		Title:  "Extension: dot-engine and inner-pipeline utilization (Sec 5.1), partition 16x16",
+		Header: []string{"suite", "format", "dot_engine_util", "inner_pipeline_util"},
+	}
+	for _, suite := range SuiteNames {
+		rs, err := o.results(suite, 16)
+		if err != nil {
+			return Table{}, err
+		}
+		byF := byFormat(rs)
+		for _, k := range formats.Core() {
+			var eng, inner []float64
+			for _, r := range byF[k] {
+				eng = append(eng, r.DotEngineUtil)
+				inner = append(inner, r.InnerPipelineUtil)
+			}
+			t.Rows = append(t.Rows, []string{
+				suite, k.String(), f4(metrics.Mean(eng)), f4(metrics.Mean(inner)),
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"row-skipping formats raise engine utilization; padded formats (dense, ELL family) pin the inner pipeline at 1 while wasting multiplier slots")
+	return t, nil
+}
+
+// Ext6 contrasts the paper's decompress-then-dot pipeline against the
+// §7 related-work architecture class that consumes compressed operands
+// directly (EIE/SpArch/SIGMA style): σ per format under both compute
+// models on a random matrix, quantifying how much of each format's cost
+// is the format itself versus the format/architecture pairing — the
+// co-design point of §8.
+func Ext6(o *Options) (Table, error) {
+	t := Table{
+		ID:     "ext6",
+		Title:  "Extension: decompress-then-dot vs direct compressed-domain compute (Sec 7/8)",
+		Header: []string{"format", "sigma_decompress", "sigma_direct", "ratio"},
+	}
+	dim := o.WL.RandomDim
+	if dim <= 0 {
+		dim = workloads.DefaultConfig().RandomDim
+	}
+	m := gen.Random(dim, 0.05, o.WL.Seed+0xE66)
+	cfg := o.Engine.Config()
+	pt := matrix.Partition(m, 16)
+	for _, k := range formats.Core() {
+		var dec, dir float64
+		for _, tile := range pt.Tiles {
+			enc := formats.Encode(k, tile)
+			dec += cfg.Sigma(enc)
+			dir += cfg.SigmaDirect(enc)
+		}
+		n := float64(len(pt.Tiles))
+		dec /= n
+		dir /= n
+		t.Rows = append(t.Rows, []string{k.String(), f2(dec), f2(dir), f2(dir / dec)})
+	}
+	t.Notes = append(t.Notes,
+		"CSC's orientation penalty vanishes when the architecture streams columns natively; the spread across formats collapses")
+	return t, nil
+}
+
+// Ext7 integrates power over modelled time: dynamic and static energy
+// per format on the SuiteSparse suite at 16×16 partitions. It
+// quantifies §6.4's closing remark — "the static energy, which depends
+// on time, can be an issue for those slower sparse formats that
+// require less dynamic energy" — slow CSC loses on static energy what
+// it saves on dynamic power.
+func Ext7(o *Options) (Table, error) {
+	t := Table{
+		ID:     "ext7",
+		Title:  "Extension: energy per SpMV run (Sec 6.4), SuiteSparse, partition 16x16",
+		Header: []string{"format", "dynamic_uJ", "static_uJ", "total_uJ"},
+	}
+	rs, err := o.results("SuiteSparse", 16)
+	if err != nil {
+		return Table{}, err
+	}
+	byF := byFormat(rs)
+	for _, k := range formats.Core() {
+		var dyn, st float64
+		for _, r := range byF[k] {
+			dyn += r.DynamicEnergyJ
+			st += r.StaticEnergyJ
+		}
+		t.Rows = append(t.Rows, []string{
+			k.String(), f2(dyn * 1e6), f2(st * 1e6), f2((dyn + st) * 1e6),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"static energy scales with run time, so the slowest decompressors lose their dynamic-power advantage")
+	return t, nil
+}
+
+// Ext3 measures coarse-grained aggregation (§5.1): speedup and
+// load-balance efficiency of 1–16 pipeline instances on one random
+// matrix per density class.
+func Ext3(o *Options) (Table, error) {
+	t := Table{
+		ID:     "ext3",
+		Title:  "Extension: coarse-grained aggregation speedup (Sec 5.1)",
+		Header: []string{"density", "format", "lanes", "cycles", "speedup", "efficiency"},
+	}
+	dim := o.WL.RandomDim
+	if dim <= 0 {
+		dim = workloads.DefaultConfig().RandomDim
+	}
+	cfg := o.Engine.Config()
+	for _, d := range []float64{0.001, 0.1} {
+		m := gen.Random(dim, d, o.WL.Seed+0xE37)
+		x := make([]float64, m.Cols)
+		for _, k := range []formats.Kind{formats.COO, formats.CSR} {
+			base, err := hlsim.RunParallel(cfg, m, k, 16, x, 1)
+			if err != nil {
+				return Table{}, err
+			}
+			for lanes := 1; lanes <= 16; lanes *= 2 {
+				r, err := hlsim.RunParallel(cfg, m, k, 16, x, lanes)
+				if err != nil {
+					return Table{}, err
+				}
+				t.Rows = append(t.Rows, []string{
+					fmt.Sprintf("%g", d), k.String(), fmt.Sprintf("%d", lanes),
+					fmt.Sprintf("%d", r.TotalCycles),
+					f2(float64(base.TotalCycles) / float64(r.TotalCycles)),
+					f3(r.Efficiency()),
+				})
+			}
+		}
+	}
+	return t, nil
+}
