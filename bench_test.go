@@ -323,6 +323,101 @@ func BenchmarkSpMVFormats(b *testing.B) {
 	}
 }
 
+// BenchmarkSweepSmall measures a full Engine.Sweep over the reduced
+// SuiteSparse suite across the core formats and all three partition
+// sizes — the engine hot path the streaming-plan cache accelerates. The
+// engine is long-lived (as in report.Options), so plan reuse across
+// iterations reflects steady-state sweep cost.
+func BenchmarkSweepSmall(b *testing.B) {
+	e := copernicus.NewEngine()
+	ws := copernicus.SuiteSparseWorkloads(copernicus.WorkloadConfig{Scale: 256, RandomDim: 256, BandDim: 256})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs, err := e.Sweep(ws, copernicus.CoreFormats(), copernicus.PartitionSizes())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rs) != len(ws)*len(copernicus.CoreFormats())*3 {
+			b.Fatalf("sweep produced %d results", len(rs))
+		}
+	}
+}
+
+// BenchmarkCGAccelerator measures an iterative solve through the
+// modelled accelerator: 60 CG iterations whose inner loop is the
+// accelerator SpMV backend. Pre-plan, every iteration re-partitioned and
+// re-encoded the matrix; with the streaming plan only the per-iteration
+// dot work remains.
+func BenchmarkCGAccelerator(b *testing.B) {
+	m := copernicus.Stencil2D(16, 16, 3)
+	rhs := make([]float64, m.Rows)
+	for i := range rhs {
+		rhs[i] = 1
+	}
+	for i := 0; i < b.N; i++ {
+		mul, _, err := copernicus.AcceleratorBackend(m, copernicus.CSR, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, st, err := copernicus.SolveCG(mul, rhs, 0, 60)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.Iterations < 50 {
+			b.Fatalf("CG stopped after %d iterations", st.Iterations)
+		}
+	}
+}
+
+// BenchmarkPlanReuseSpMV contrasts the one-shot SpMV path (which
+// partitions, encodes, and cross-checks per call) against repeated Run
+// calls on a shared StreamPlan (which pay only the dot work).
+func BenchmarkPlanReuseSpMV(b *testing.B) {
+	m := copernicus.Random(256, 0.02, 17)
+	x := make([]float64, 256)
+	for i := range x {
+		x[i] = 1
+	}
+	b.Run("one-shot", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := copernicus.SpMV(m, x, copernicus.CSR, 16); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("plan", func(b *testing.B) {
+		pl, err := copernicus.NewStreamPlan(m, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := pl.Run(copernicus.CSR, x); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSweepWorkers measures the worker-pool sweep at several pool
+// sizes over the random+band suites (fresh engine per iteration, so the
+// pool — not the plan cache — is what varies).
+func BenchmarkSweepWorkers(b *testing.B) {
+	c := copernicus.WorkloadConfig{Scale: 256, RandomDim: 256, BandDim: 256}
+	ws := append(copernicus.RandomWorkloads(c), copernicus.BandWorkloads(c)...)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run("w"+strconv.Itoa(workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e := copernicus.NewEngine()
+				e.SetWorkers(workers)
+				if _, err := e.Sweep(ws, copernicus.CoreFormats(), copernicus.PartitionSizes()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkAdvisor measures the empirical format advisor.
 func BenchmarkAdvisor(b *testing.B) {
 	m := copernicus.ScaleFreeGraph(256, 4, 19)

@@ -8,6 +8,7 @@
 //	copernicus fig4 [flags]              # regenerate one artifact
 //	copernicus advise [flags]            # recommend a format for a matrix
 //	copernicus workloads [flags]         # describe the workload suites
+//	copernicus bench -json [flags]       # time the engine hot paths, emit BENCH_sweep.json
 //
 // Flags:
 //
@@ -22,11 +23,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"time"
 
 	"copernicus"
 )
@@ -55,11 +59,13 @@ func run(args []string) error {
 	width := fs.Int("width", 8, "band width")
 	seed := fs.Uint64("seed", 1, "generator seed")
 	mtxPath := fs.String("mtx", "", "Matrix Market file to load instead of generating")
-	out := fs.String("out", "", "output path (convert)")
+	out := fs.String("out", "", "output path (convert; bench JSON, default BENCH_sweep.json)")
 	outDir := fs.String("outdir", "", "write each artifact as <id>.txt and <id>.csv into this directory")
 	lanes := fs.Int("lanes", 8, "maximum pipeline instances (scaling)")
 	format := fs.String("format", "COO", "format name (scaling/trace)")
 	tiles := fs.Int("tiles", 12, "maximum tiles to render (trace)")
+	jsonOut := fs.Bool("json", false, "write bench results as JSON (bench)")
+	iters := fs.Int("iters", 5, "timed iterations per benchmark (bench)")
 	if err := fs.Parse(rest); err != nil {
 		return err
 	}
@@ -113,6 +119,8 @@ func run(args []string) error {
 			return err
 		}
 		return trace(m, *format, *p, *tiles)
+	case "bench":
+		return benchCmd(*scale, *iters, *jsonOut, *out)
 	case "workloads":
 		return describeWorkloads(*scale)
 	case "help", "-h", "--help":
@@ -130,7 +138,104 @@ func run(args []string) error {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: copernicus <list|all|advise|stats|convert|scaling|workloads|fig3..fig14|table2> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: copernicus <list|all|advise|stats|convert|scaling|bench|workloads|fig3..fig14|table2> [flags]`)
+}
+
+// benchResult is one timed benchmark in the BENCH_sweep.json record.
+type benchResult struct {
+	Name       string  `json:"name"`
+	Iterations int     `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	Points     int     `json:"points,omitempty"`
+}
+
+// benchRecord is the perf-trajectory artifact emitted by `bench -json`.
+type benchRecord struct {
+	Scale      int           `json:"scale"`
+	Workers    int           `json:"workers"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	CPUs       int           `json:"cpus"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+// benchCmd times the two engine hot paths the streaming-plan layer
+// accelerates — a full characterization sweep and an iterative CG solve
+// through the accelerator backend — and optionally records them to
+// BENCH_sweep.json so the performance trajectory is tracked per commit.
+func benchCmd(scale, iters int, jsonOut bool, out string) error {
+	if iters < 1 {
+		iters = 1
+	}
+	// Sweep benchmark: SuiteSparse suite × core formats × all partition
+	// sizes on a long-lived engine (plan reuse reflects steady state).
+	e := copernicus.NewEngine()
+	rec := benchRecord{
+		Scale:   scale,
+		GOOS:    runtime.GOOS,
+		GOARCH:  runtime.GOARCH,
+		CPUs:    runtime.NumCPU(),
+		Workers: e.Workers(),
+	}
+	ws := copernicus.SuiteSparseWorkloads(copernicus.WorkloadConfig{Scale: scale, RandomDim: scale, BandDim: scale})
+	points := len(ws) * len(copernicus.CoreFormats()) * len(copernicus.PartitionSizes())
+	if _, err := e.Sweep(ws, copernicus.CoreFormats(), copernicus.PartitionSizes()); err != nil {
+		return err
+	}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if _, err := e.Sweep(ws, copernicus.CoreFormats(), copernicus.PartitionSizes()); err != nil {
+			return err
+		}
+	}
+	rec.Benchmarks = append(rec.Benchmarks, benchResult{
+		Name:       "sweep_suitesparse_core_formats",
+		Iterations: iters,
+		NsPerOp:    float64(time.Since(start).Nanoseconds()) / float64(iters),
+		Points:     points,
+	})
+
+	// Iterative-kernel benchmark: 60 CG iterations through the
+	// accelerator backend (plan built once per op, reused per iteration).
+	m := copernicus.Stencil2D(16, 16, 3)
+	rhs := make([]float64, m.Rows)
+	for i := range rhs {
+		rhs[i] = 1
+	}
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		mul, _, err := copernicus.AcceleratorBackend(m, copernicus.CSR, 16)
+		if err != nil {
+			return err
+		}
+		if _, _, err := copernicus.SolveCG(mul, rhs, 0, 60); err != nil {
+			return err
+		}
+	}
+	rec.Benchmarks = append(rec.Benchmarks, benchResult{
+		Name:       "cg_accelerator_csr_p16_60iter",
+		Iterations: iters,
+		NsPerOp:    float64(time.Since(start).Nanoseconds()) / float64(iters),
+	})
+
+	for _, b := range rec.Benchmarks {
+		fmt.Printf("%-34s %8d iters  %12.0f ns/op\n", b.Name, b.Iterations, b.NsPerOp)
+	}
+	if !jsonOut {
+		return nil
+	}
+	if out == "" {
+		out = "BENCH_sweep.json"
+	}
+	blob, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
 }
 
 // buildMatrix generates a matrix of the named kind.

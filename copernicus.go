@@ -190,13 +190,33 @@ func Characterize(m *Matrix, f Format, p int) (Result, error) {
 
 // SpMV multiplies y = A·x through the modelled accelerator: A is
 // partitioned, compressed in format f, streamed, decompressed, and fed to
-// the dot-product engine. Use Matrix.MulVec for the plain software path.
+// the dot-product engine. Use Matrix.MulVec for the plain software path,
+// or a StreamPlan when multiplying the same matrix repeatedly.
 func SpMV(m *Matrix, x []float64, f Format, p int) ([]float64, error) {
 	res, err := hlsim.Run(hlsim.Default(), m, f, p, x)
 	if err != nil {
 		return nil, err
 	}
 	return res.Y, nil
+}
+
+// StreamPlan is an encode-once streaming plan: the matrix is partitioned
+// once at one partition size, each format is encoded and decode-verified
+// once on first use, and every subsequent modelled SpMV on the plan pays
+// only the per-iteration dot work. Its Run, RunParallel, RunSpMM, Trace,
+// and Schedule methods mirror the package-level one-shot helpers.
+type StreamPlan = hlsim.Plan
+
+// NewStreamPlan builds a streaming plan for m at partition size p on the
+// default hardware model.
+func NewStreamPlan(m *Matrix, p int) (*StreamPlan, error) {
+	return hlsim.NewPlan(hlsim.Default(), m, p)
+}
+
+// NewStreamPlanWithConfig builds a streaming plan on a custom hardware
+// model.
+func NewStreamPlanWithConfig(cfg HardwareConfig, m *Matrix, p int) (*StreamPlan, error) {
+	return hlsim.NewPlan(cfg, m, p)
 }
 
 // ParallelResult models aggregated pipeline instances (§5.1).

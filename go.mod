@@ -1,0 +1,3 @@
+module copernicus
+
+go 1.22

@@ -10,6 +10,9 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"copernicus/internal/formats"
 	"copernicus/internal/hlsim"
@@ -66,11 +69,34 @@ type Result struct {
 func (r Result) EnergyJ() float64 { return r.DynamicEnergyJ + r.StaticEnergyJ }
 
 // Engine runs characterizations with a fixed hardware configuration.
+// It caches encode-once streaming plans per (matrix, partition size), so
+// characterizing one matrix across several formats — or re-characterizing
+// it across calls, as the advisor and report harness do — partitions and
+// encodes each point exactly once. An Engine is safe for concurrent use.
 type Engine struct {
 	cfg hlsim.Config
 	// VerifyTolerance bounds the allowed |y_sim - y_ref| per element.
 	verifyTol float64
+	// workers bounds the Sweep worker pool; 0 means GOMAXPROCS.
+	workers int
+
+	mu    sync.Mutex
+	plans map[planKey]*hlsim.Plan
 }
+
+// planKey identifies a cached streaming plan. Matrices are treated as
+// immutable once characterized (every producer in this repository builds
+// them once via Builder), so identity by pointer is sound. Note the key
+// pins its matrix (and the plan its tiles) until eviction; engines fed a
+// stream of large one-off matrices should call DropPlans between them.
+type planKey struct {
+	m *matrix.CSR
+	p int
+}
+
+// maxCachedPlans bounds the plan cache; beyond it the cache resets, which
+// only costs re-encoding on a later miss.
+const maxCachedPlans = 128
 
 // New returns an engine with the calibrated default hardware model.
 func New() *Engine {
@@ -86,11 +112,73 @@ func NewWithConfig(cfg hlsim.Config) (*Engine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Engine{cfg: cfg, verifyTol: 1e-9}, nil
+	return &Engine{cfg: cfg, verifyTol: 1e-9, plans: make(map[planKey]*hlsim.Plan)}, nil
 }
 
 // Config returns the engine's hardware configuration.
 func (e *Engine) Config() hlsim.Config { return e.cfg }
+
+// SetWorkers bounds the Sweep worker pool. n <= 0 restores the default
+// (GOMAXPROCS). Parallel and serial sweeps produce identical results in
+// identical order.
+func (e *Engine) SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	e.mu.Lock()
+	e.workers = n
+	e.mu.Unlock()
+}
+
+// Workers returns the effective Sweep worker-pool size.
+func (e *Engine) Workers() int {
+	e.mu.Lock()
+	w := e.workers
+	e.mu.Unlock()
+	if w > 0 {
+		return w
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// DropPlans empties the plan cache. Long-lived engines characterizing a
+// stream of large one-off matrices can call it to release the cached
+// partitionings (and the matrices they pin) without waiting for the
+// size-triggered reset.
+func (e *Engine) DropPlans() {
+	e.mu.Lock()
+	e.plans = make(map[planKey]*hlsim.Plan)
+	e.mu.Unlock()
+}
+
+// plan returns the cached streaming plan for (m, p), building it on the
+// first request.
+func (e *Engine) plan(m *matrix.CSR, p int) (*hlsim.Plan, error) {
+	key := planKey{m: m, p: p}
+	e.mu.Lock()
+	pl, ok := e.plans[key]
+	e.mu.Unlock()
+	if ok {
+		return pl, nil
+	}
+	pl, err := hlsim.NewPlan(e.cfg, m, p)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	if len(e.plans) >= maxCachedPlans {
+		e.plans = make(map[planKey]*hlsim.Plan)
+	}
+	// Prefer a plan another goroutine may have raced in, so concurrent
+	// sweep groups over the same point share encodings.
+	if prior, ok := e.plans[key]; ok {
+		pl = prior
+	} else {
+		e.plans[key] = pl
+	}
+	e.mu.Unlock()
+	return pl, nil
+}
 
 // testVector returns the deterministic operand vector used in every
 // characterization: reproducible, non-trivial values so functional
@@ -104,16 +192,15 @@ func testVector(n int) []float64 {
 	return x
 }
 
-// Characterize runs one (matrix, format, partition size) point and
-// verifies the simulated SpMV output against the software reference; a
-// mismatch is a hard error, never a silently wrong metric.
-func (e *Engine) Characterize(name string, m *matrix.CSR, k formats.Kind, p int) (Result, error) {
-	x := testVector(m.Cols)
-	run, err := hlsim.Run(e.cfg, m, k, p, x)
+// characterizeOn runs one format point on a prepared plan against a
+// precomputed operand vector and software reference — the shared inner
+// step of Characterize and Sweep.
+func (e *Engine) characterizeOn(name string, pl *hlsim.Plan, k formats.Kind, x, ref []float64) (Result, error) {
+	p := pl.P()
+	run, err := pl.Run(k, x)
 	if err != nil {
 		return Result{}, fmt.Errorf("core: %s/%v/p=%d: %w", name, k, p, err)
 	}
-	ref := m.MulVec(x)
 	for i := range ref {
 		if math.Abs(run.Y[i]-ref[i]) > e.verifyTol {
 			return Result{}, fmt.Errorf("core: %s/%v/p=%d: functional mismatch at row %d: %g vs %g",
@@ -143,12 +230,31 @@ func (e *Engine) Characterize(name string, m *matrix.CSR, k formats.Kind, p int)
 	}, nil
 }
 
+// Characterize runs one (matrix, format, partition size) point and
+// verifies the simulated SpMV output against the software reference; a
+// mismatch is a hard error, never a silently wrong metric.
+func (e *Engine) Characterize(name string, m *matrix.CSR, k formats.Kind, p int) (Result, error) {
+	pl, err := e.plan(m, p)
+	if err != nil {
+		return Result{}, fmt.Errorf("core: %s/%v/p=%d: %w", name, k, p, err)
+	}
+	x := testVector(m.Cols)
+	return e.characterizeOn(name, pl, k, x, m.MulVec(x))
+}
+
 // SweepFormats characterizes one matrix across formats at one partition
-// size, in the given format order.
+// size, in the given format order. The partitioning, operand vector, and
+// reference MulVec are shared across all formats of the point.
 func (e *Engine) SweepFormats(name string, m *matrix.CSR, p int, kinds []formats.Kind) ([]Result, error) {
+	pl, err := e.plan(m, p)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s/p=%d: %w", name, p, err)
+	}
+	x := testVector(m.Cols)
+	ref := m.MulVec(x)
 	out := make([]Result, 0, len(kinds))
 	for _, k := range kinds {
-		r, err := e.Characterize(name, m, k, p)
+		r, err := e.characterizeOn(name, pl, k, x, ref)
 		if err != nil {
 			return nil, err
 		}
@@ -158,15 +264,70 @@ func (e *Engine) SweepFormats(name string, m *matrix.CSR, p int, kinds []formats
 }
 
 // Sweep characterizes every workload × format × partition size point.
+//
+// The (workload, p) groups run on a bounded worker pool (Workers wide;
+// GOMAXPROCS by default, configurable with SetWorkers). Each group shares
+// one streaming plan, one operand vector, and one reference MulVec across
+// its formats. Output ordering and values are identical to a serial run:
+// results land at their precomputed indices and every group is an
+// independent deterministic computation.
 func (e *Engine) Sweep(ws []workloads.Workload, kinds []formats.Kind, ps []int) ([]Result, error) {
-	var out []Result
-	for _, w := range ws {
-		for _, p := range ps {
-			rs, err := e.SweepFormats(w.ID, w.M, p, kinds)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, rs...)
+	groups := len(ws) * len(ps)
+	out := make([]Result, groups*len(kinds))
+	errs := make([]error, groups)
+	workers := e.Workers()
+	if workers > groups {
+		workers = groups
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	// failed makes every worker stop claiming groups after the first
+	// error; groups are claimed in index order, so the lowest-indexed
+	// failure always runs and the returned error is deterministic.
+	var failed atomic.Bool
+	runGroup := func(g int) {
+		w := ws[g/len(ps)]
+		p := ps[g%len(ps)]
+		rs, err := e.SweepFormats(w.ID, w.M, p, kinds)
+		if err != nil {
+			errs[g] = err
+			failed.Store(true)
+			return
+		}
+		copy(out[g*len(kinds):(g+1)*len(kinds)], rs)
+	}
+
+	if workers == 1 {
+		for g := 0; g < groups && !failed.Load(); g++ {
+			runGroup(g)
+		}
+	} else {
+		var next int
+		var nextMu sync.Mutex
+		var wg sync.WaitGroup
+		for i := 0; i < workers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for !failed.Load() {
+					nextMu.Lock()
+					g := next
+					next++
+					nextMu.Unlock()
+					if g >= groups {
+						return
+					}
+					runGroup(g)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
 	return out, nil

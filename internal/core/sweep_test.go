@@ -1,0 +1,108 @@
+package core
+
+import (
+	"testing"
+
+	"copernicus/internal/formats"
+	"copernicus/internal/workloads"
+)
+
+func sweepInputs() ([]workloads.Workload, []formats.Kind, []int) {
+	c := workloads.Config{Scale: 128, RandomDim: 128, BandDim: 128, Seed: 0xC0FE}
+	ws := append(workloads.RandomSuite(c), workloads.BandSuite(c)...)
+	return ws, formats.Core(), []int{8, 16}
+}
+
+// TestSweepParallelMatchesSerial: the worker-pool sweep must produce
+// byte-identical results — same order, same values — as a serial run.
+func TestSweepParallelMatchesSerial(t *testing.T) {
+	ws, kinds, ps := sweepInputs()
+
+	serial := New()
+	serial.SetWorkers(1)
+	want, err := serial.Sweep(ws, kinds, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{2, 4, 7} {
+		par := New()
+		par.SetWorkers(workers)
+		got, err := par.Sweep(ws, kinds, ps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: result %d diverges:\n got %+v\nwant %+v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSweepRepeatDeterministic: re-running a sweep on the same engine
+// (warm plan cache) must reproduce the cold run exactly.
+func TestSweepRepeatDeterministic(t *testing.T) {
+	ws, kinds, ps := sweepInputs()
+	e := New()
+	cold, err := e.Sweep(ws, kinds, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := e.Sweep(ws, kinds, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cold {
+		if warm[i] != cold[i] {
+			t.Fatalf("result %d changed between cold and warm sweep", i)
+		}
+	}
+}
+
+// TestSweepOrdering: results come out workload-major, then partition
+// size, then format — the same order the serial pre-plan engine emitted.
+func TestSweepOrdering(t *testing.T) {
+	ws, kinds, ps := sweepInputs()
+	e := New()
+	rs, err := e.Sweep(ws, kinds, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	for _, w := range ws {
+		for _, p := range ps {
+			for _, k := range kinds {
+				r := rs[i]
+				if r.Workload != w.ID || r.P != p || r.Format != k {
+					t.Fatalf("result %d is %s/%v/p=%d, want %s/%v/p=%d",
+						i, r.Workload, r.Format, r.P, w.ID, k, p)
+				}
+				i++
+			}
+		}
+	}
+}
+
+// TestSetWorkers: the knob clamps and reports as documented.
+func TestSetWorkers(t *testing.T) {
+	e := New()
+	if e.Workers() < 1 {
+		t.Fatalf("default workers %d", e.Workers())
+	}
+	e.SetWorkers(3)
+	if e.Workers() != 3 {
+		t.Fatalf("Workers() = %d, want 3", e.Workers())
+	}
+	e.SetWorkers(0)
+	if e.Workers() < 1 {
+		t.Fatalf("reset workers %d", e.Workers())
+	}
+	e.SetWorkers(-5)
+	if e.Workers() < 1 {
+		t.Fatalf("negative workers %d", e.Workers())
+	}
+}

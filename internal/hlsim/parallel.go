@@ -1,8 +1,6 @@
 package hlsim
 
 import (
-	"fmt"
-
 	"copernicus/internal/formats"
 	"copernicus/internal/matrix"
 )
@@ -49,57 +47,12 @@ func (r *ParallelResult) Efficiency() float64 {
 // RunParallel streams the non-zero partitions of m across `lanes`
 // independent pipeline instances (round-robin distribution, the static
 // schedule a streaming DMA would use) in format k at partition size p.
-// With lanes=1 it degenerates to Run's pipelined total.
+// With lanes=1 it degenerates to Run's pipelined total. It builds a
+// transient Plan; hold a NewPlan for repeated multiplications.
 func RunParallel(cfg Config, m *matrix.CSR, k formats.Kind, p int, x []float64, lanes int) (*ParallelResult, error) {
-	if err := cfg.Validate(); err != nil {
+	pl, err := NewPlan(cfg, m, p)
+	if err != nil {
 		return nil, err
 	}
-	if lanes < 1 {
-		return nil, fmt.Errorf("hlsim: RunParallel with %d lanes", lanes)
-	}
-	if len(x) != m.Cols {
-		return nil, fmt.Errorf("hlsim: vector length %d for %d-column matrix", len(x), m.Cols)
-	}
-	pt := matrix.Partition(m, p)
-	r := &ParallelResult{
-		Kind:         k,
-		P:            p,
-		Lanes:        lanes,
-		Y:            make([]float64, m.Rows),
-		LaneCycles:   make([]uint64, lanes),
-		NonZeroTiles: len(pt.Tiles),
-		cfg:          cfg,
-	}
-	for i, tile := range pt.Tiles {
-		enc := formats.Encode(k, tile)
-		tr := RunTile(cfg, enc)
-		lane := i % lanes
-		r.LaneCycles[lane] += uint64(max(tr.MemCycles, tr.ComputeCycles))
-
-		dec, err := enc.Decode()
-		if err != nil {
-			return nil, fmt.Errorf("hlsim: tile (%d,%d): %w", tile.Row, tile.Col, err)
-		}
-		for ri := 0; ri < p; ri++ {
-			gi := tile.Row + ri
-			if gi >= m.Rows {
-				break
-			}
-			s := 0.0
-			for j := 0; j < p; j++ {
-				gj := tile.Col + j
-				if gj >= m.Cols {
-					break
-				}
-				s += dec.At(ri, j) * x[gj]
-			}
-			r.Y[gi] += s
-		}
-	}
-	for _, c := range r.LaneCycles {
-		if c > r.TotalCycles {
-			r.TotalCycles = c
-		}
-	}
-	return r, nil
+	return pl.RunParallel(k, x, lanes)
 }

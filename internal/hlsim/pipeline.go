@@ -1,8 +1,6 @@
 package hlsim
 
 import (
-	"fmt"
-
 	"copernicus/internal/formats"
 	"copernicus/internal/matrix"
 )
@@ -175,64 +173,16 @@ func RunTile(cfg Config, enc formats.Encoded) TileResult {
 // accelerator in format k with partition size p, multiplying by x. It
 // returns the functional SpMV result alongside the aggregated performance
 // model. The encoded streams are decoded back through the format's
-// decoder — any corruption surfaces as an error rather than a wrong
-// answer.
+// decoder and cross-checked against the partition — any corruption
+// surfaces as an error rather than a wrong answer.
+//
+// Run builds a transient Plan per call; callers multiplying the same
+// matrix repeatedly should hold a NewPlan and call its Run method, which
+// partitions, encodes, and cross-checks only once.
 func Run(cfg Config, m *matrix.CSR, k formats.Kind, p int, x []float64) (*Result, error) {
-	if err := cfg.Validate(); err != nil {
+	pl, err := NewPlan(cfg, m, p)
+	if err != nil {
 		return nil, err
 	}
-	if len(x) != m.Cols {
-		return nil, fmt.Errorf("hlsim: vector length %d for %d-column matrix", len(x), m.Cols)
-	}
-	pt := matrix.Partition(m, p)
-	r := &Result{
-		Kind:         k,
-		P:            p,
-		Y:            make([]float64, m.Rows),
-		NonZeroTiles: len(pt.Tiles),
-		TotalTiles:   pt.TotalTiles,
-		cfg:          cfg,
-	}
-	for _, tile := range pt.Tiles {
-		enc := formats.Encode(k, tile)
-		tr := RunTile(cfg, enc)
-		r.MemCycles += uint64(tr.MemCycles)
-		r.ComputeCycles += uint64(tr.ComputeCycles)
-		r.DecompCycles += uint64(tr.DecompCycles)
-		r.PipelinedCycles += uint64(max(tr.MemCycles, tr.ComputeCycles))
-		if tr.MemCycles > tr.ComputeCycles {
-			r.IdleComputeCycles += uint64(tr.MemCycles - tr.ComputeCycles)
-		} else {
-			r.StallMemCycles += uint64(tr.ComputeCycles - tr.MemCycles)
-		}
-		r.DotRows += uint64(tr.DotRows)
-		r.NNZ += uint64(enc.Stats().NNZ)
-		r.Footprint.UsefulBytes += tr.Footprint.UsefulBytes
-		r.Footprint.MetaBytes += tr.Footprint.MetaBytes
-		r.Footprint.ValueLaneBytes += tr.Footprint.ValueLaneBytes
-		r.Footprint.IndexLaneBytes += tr.Footprint.IndexLaneBytes
-		r.sumBalance += tr.Balance()
-
-		// Functional path: decompress and feed the dot-product engine.
-		dec, err := enc.Decode()
-		if err != nil {
-			return nil, fmt.Errorf("hlsim: tile (%d,%d): %w", tile.Row, tile.Col, err)
-		}
-		for i := 0; i < p; i++ {
-			gi := tile.Row + i
-			if gi >= m.Rows {
-				break
-			}
-			s := 0.0
-			for j := 0; j < p; j++ {
-				gj := tile.Col + j
-				if gj >= m.Cols {
-					break
-				}
-				s += dec.At(i, j) * x[gj]
-			}
-			r.Y[gi] += s
-		}
-	}
-	return r, nil
+	return pl.Run(k, x)
 }

@@ -1,0 +1,404 @@
+package hlsim
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"copernicus/internal/formats"
+	"copernicus/internal/matrix"
+)
+
+// Plan is an encode-once streaming plan: one matrix partitioned at one
+// partition size, with per-format encodings, cycle costs, and the
+// decode-and-verify cross-check each performed exactly once and cached.
+// Every entry point of the package (Run, RunParallel, RunSpMM, Trace,
+// BuildSchedule) is a thin wrapper over a transient plan; callers that
+// stream the same matrix repeatedly — iterative kernels, characterization
+// sweeps — hold a Plan so each SpMV pays only the per-iteration dot work.
+//
+// The functional path is sparse-aware: the plan stores each tile's
+// non-zeros in CSR-native form (built once from the partitioning), and
+// SpMV iterates those stored entries instead of decoding a dense tile and
+// walking all p² positions. The decompress→verify cross-check against the
+// format decoders still runs, but once per (format, plan) rather than
+// once per multiplication.
+//
+// A Plan is safe for concurrent use.
+type Plan struct {
+	cfg Config
+	m   *matrix.CSR
+	p   int
+	pt  *matrix.Partitioning
+
+	// CSR-native functional view of the non-zero tiles, built lazily by
+	// ensureRows on the first multiplication (cycle-model-only paths —
+	// Trace, Schedule — never pay for it): each row spans
+	// cols/vals[row.start:row.end]. Iterating these reproduces the exact
+	// accumulation order of the dense per-tile loop (ascending local row,
+	// ascending column), so results are bit-identical to the pre-plan path.
+	rowsOnce sync.Once
+	rows     []planRow
+	cols     []int32
+	vals     []float64
+
+	mu   sync.Mutex
+	fmts map[formats.Kind]*planFormat
+}
+
+// planRow is one non-zero tile row: its global row index and the span of
+// its entries in the plan's cols/vals arrays.
+type planRow struct {
+	gi         int
+	start, end int
+}
+
+// planFormat caches everything format-dependent: per-tile cycle costs,
+// the aggregated Result totals, and the outcome of the one-time
+// decode-and-verify cross-check (run on first functional use, not for
+// cycle-model-only consumers like Trace and Schedule).
+type planFormat struct {
+	tiles []TileResult
+	agg   formatAgg
+	// encs holds the encodings from format() until verify consumes them
+	// (freed afterwards); one-shot cycle-model consumers drop the whole
+	// plan, so nothing lingers.
+	encs     []formats.Encoded
+	verified bool
+	err      error // sticky decode/cross-check failure
+}
+
+// formatAgg carries the Result totals aggregated over all non-zero tiles.
+type formatAgg struct {
+	MemCycles         uint64
+	ComputeCycles     uint64
+	DecompCycles      uint64
+	PipelinedCycles   uint64
+	IdleComputeCycles uint64
+	StallMemCycles    uint64
+	DotRows           uint64
+	NNZ               uint64
+	Footprint         formats.Footprint
+	sumBalance        float64
+}
+
+// NewPlan partitions m once at partition size p under the given hardware
+// configuration. Encodings are produced lazily, once per format, on first
+// use.
+func NewPlan(cfg Config, m *matrix.CSR, p int) (*Plan, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Plan{
+		cfg:  cfg,
+		m:    m,
+		p:    p,
+		pt:   matrix.Partition(m, p),
+		fmts: make(map[formats.Kind]*planFormat),
+	}, nil
+}
+
+// Config returns the plan's hardware configuration.
+func (pl *Plan) Config() Config { return pl.cfg }
+
+// Matrix returns the planned matrix.
+func (pl *Plan) Matrix() *matrix.CSR { return pl.m }
+
+// P returns the partition size.
+func (pl *Plan) P() int { return pl.p }
+
+// Partitioning returns the cached partitioning.
+func (pl *Plan) Partitioning() *matrix.Partitioning { return pl.pt }
+
+// ensureRows extracts the CSR-native per-tile row spans from the dense
+// tiles, once per plan, on the first multiplication.
+func (pl *Plan) ensureRows() {
+	pl.rowsOnce.Do(func() {
+		nnz := 0
+		nzRows := 0
+		for _, t := range pl.pt.Tiles {
+			nnz += t.NNZ()
+			nzRows += t.NonZeroRows()
+		}
+		pl.rows = make([]planRow, 0, nzRows)
+		pl.cols = make([]int32, 0, nnz)
+		pl.vals = make([]float64, 0, nnz)
+		for _, t := range pl.pt.Tiles {
+			for i := 0; i < t.P; i++ {
+				gi := t.Row + i
+				if gi >= pl.m.Rows {
+					break
+				}
+				if t.RowNNZ(i) == 0 {
+					continue
+				}
+				start := len(pl.cols)
+				for j := 0; j < t.P; j++ {
+					if v := t.Val[i*t.P+j]; v != 0 {
+						pl.cols = append(pl.cols, int32(t.Col+j))
+						pl.vals = append(pl.vals, v)
+					}
+				}
+				pl.rows = append(pl.rows, planRow{gi: gi, start: start, end: len(pl.cols)})
+			}
+		}
+	})
+}
+
+// format returns the cached per-format state, encoding and pricing every
+// non-zero tile exactly once. It does not run the decode cross-check;
+// see verify.
+func (pl *Plan) format(k formats.Kind) (*planFormat, error) {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if pf, ok := pl.fmts[k]; ok {
+		return pf, pf.err
+	}
+	pf := &planFormat{
+		tiles: make([]TileResult, 0, len(pl.pt.Tiles)),
+		encs:  make([]formats.Encoded, 0, len(pl.pt.Tiles)),
+	}
+	pl.fmts[k] = pf
+	for _, tile := range pl.pt.Tiles {
+		enc := formats.Encode(k, tile)
+		tr := RunTile(pl.cfg, enc)
+		pf.tiles = append(pf.tiles, tr)
+		pf.encs = append(pf.encs, enc)
+		pf.agg.MemCycles += uint64(tr.MemCycles)
+		pf.agg.ComputeCycles += uint64(tr.ComputeCycles)
+		pf.agg.DecompCycles += uint64(tr.DecompCycles)
+		pf.agg.PipelinedCycles += uint64(max(tr.MemCycles, tr.ComputeCycles))
+		if tr.MemCycles > tr.ComputeCycles {
+			pf.agg.IdleComputeCycles += uint64(tr.MemCycles - tr.ComputeCycles)
+		} else {
+			pf.agg.StallMemCycles += uint64(tr.ComputeCycles - tr.MemCycles)
+		}
+		pf.agg.DotRows += uint64(tr.DotRows)
+		pf.agg.NNZ += uint64(enc.Stats().NNZ)
+		pf.agg.Footprint.UsefulBytes += tr.Footprint.UsefulBytes
+		pf.agg.Footprint.MetaBytes += tr.Footprint.MetaBytes
+		pf.agg.Footprint.ValueLaneBytes += tr.Footprint.ValueLaneBytes
+		pf.agg.Footprint.IndexLaneBytes += tr.Footprint.IndexLaneBytes
+		pf.agg.sumBalance += tr.Balance()
+	}
+	return pf, nil
+}
+
+// verify returns the cached per-format state after the decode-and-verify
+// cross-check, hoisted to once per (format, plan): the encoded streams
+// must decode back to the original tile, so any stream corruption
+// surfaces here rather than as a silently wrong SpMV. Functional entry
+// points (Run, RunParallel, RunSpMM) call it; cycle-model-only consumers
+// (Trace, Schedule) skip it, as the pre-plan one-shots did.
+func (pl *Plan) verify(k formats.Kind) (*planFormat, error) {
+	pf, err := pl.format(k)
+	if err != nil {
+		return pf, err
+	}
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if pf.verified {
+		return pf, pf.err
+	}
+	pf.verified = true
+	encs := pf.encs
+	pf.encs = nil // encodings are not needed once cross-checked
+	for ti, tile := range pl.pt.Tiles {
+		dec, err := encs[ti].Decode()
+		if err != nil {
+			pf.err = fmt.Errorf("hlsim: tile (%d,%d): %w", tile.Row, tile.Col, err)
+			return pf, pf.err
+		}
+		for i, v := range tile.Val {
+			// NaN-tolerant exact equality: NaN entries round-trip as NaN
+			// (the mtx loader admits them), which must not read as
+			// corruption.
+			if dec.Val[i] != v && !(math.IsNaN(dec.Val[i]) && math.IsNaN(v)) {
+				pf.err = fmt.Errorf("hlsim: tile (%d,%d): %v decode mismatch at local (%d,%d): %g != %g",
+					tile.Row, tile.Col, k, i/tile.P, i%tile.P, dec.Val[i], v)
+				return pf, pf.err
+			}
+		}
+	}
+	return pf, nil
+}
+
+// spmv accumulates y += A·x through the plan's tile rows, reproducing the
+// per-tile-row accumulation order of the modelled pipeline. Like the
+// software reference CSR.MulVec, it multiplies only stored non-zeros: a
+// structural zero never meets a non-finite operand entry (0·Inf, 0·NaN),
+// exactly as in the golden model the output is verified against.
+func (pl *Plan) spmv(x []float64, y []float64) {
+	pl.ensureRows()
+	for _, r := range pl.rows {
+		s := 0.0
+		for k := r.start; k < r.end; k++ {
+			s += pl.vals[k] * x[pl.cols[k]]
+		}
+		y[r.gi] += s
+	}
+}
+
+// Run streams every non-zero partition through the modelled accelerator
+// in format k, multiplying by x. Cycle totals come from the cached
+// per-format aggregates; only the functional dot work is paid per call.
+func (pl *Plan) Run(k formats.Kind, x []float64) (*Result, error) {
+	if len(x) != pl.m.Cols {
+		return nil, fmt.Errorf("hlsim: vector length %d for %d-column matrix", len(x), pl.m.Cols)
+	}
+	pf, err := pl.verify(k)
+	if err != nil {
+		return nil, err
+	}
+	r := &Result{
+		Kind:              k,
+		P:                 pl.p,
+		Y:                 make([]float64, pl.m.Rows),
+		NonZeroTiles:      len(pl.pt.Tiles),
+		TotalTiles:        pl.pt.TotalTiles,
+		MemCycles:         pf.agg.MemCycles,
+		ComputeCycles:     pf.agg.ComputeCycles,
+		DecompCycles:      pf.agg.DecompCycles,
+		PipelinedCycles:   pf.agg.PipelinedCycles,
+		IdleComputeCycles: pf.agg.IdleComputeCycles,
+		StallMemCycles:    pf.agg.StallMemCycles,
+		DotRows:           pf.agg.DotRows,
+		NNZ:               pf.agg.NNZ,
+		Footprint:         pf.agg.Footprint,
+		sumBalance:        pf.agg.sumBalance,
+		cfg:               pl.cfg,
+	}
+	pl.spmv(x, r.Y)
+	return r, nil
+}
+
+// RunParallel distributes the non-zero partitions across `lanes`
+// independent pipeline instances (round-robin, as in RunParallel the
+// free function) using the cached per-tile costs.
+func (pl *Plan) RunParallel(k formats.Kind, x []float64, lanes int) (*ParallelResult, error) {
+	if lanes < 1 {
+		return nil, fmt.Errorf("hlsim: RunParallel with %d lanes", lanes)
+	}
+	if len(x) != pl.m.Cols {
+		return nil, fmt.Errorf("hlsim: vector length %d for %d-column matrix", len(x), pl.m.Cols)
+	}
+	pf, err := pl.verify(k)
+	if err != nil {
+		return nil, err
+	}
+	r := &ParallelResult{
+		Kind:         k,
+		P:            pl.p,
+		Lanes:        lanes,
+		Y:            make([]float64, pl.m.Rows),
+		LaneCycles:   make([]uint64, lanes),
+		NonZeroTiles: len(pl.pt.Tiles),
+		cfg:          pl.cfg,
+	}
+	for i, tr := range pf.tiles {
+		r.LaneCycles[i%lanes] += uint64(max(tr.MemCycles, tr.ComputeCycles))
+	}
+	for _, c := range r.LaneCycles {
+		if c > r.TotalCycles {
+			r.TotalCycles = c
+		}
+	}
+	pl.spmv(x, r.Y)
+	return r, nil
+}
+
+// RunSpMM multiplies the planned matrix by the dense operand b
+// (m.Cols × cols, row-major) through the modelled pipeline.
+func (pl *Plan) RunSpMM(k formats.Kind, b []float64, cols int) (*SpMMResult, error) {
+	if cols < 1 {
+		return nil, fmt.Errorf("hlsim: RunSpMM with %d columns", cols)
+	}
+	if len(b) != pl.m.Cols*cols {
+		return nil, fmt.Errorf("hlsim: operand is %d values, want %d×%d", len(b), pl.m.Cols, cols)
+	}
+	pf, err := pl.verify(k)
+	if err != nil {
+		return nil, err
+	}
+	r := &SpMMResult{
+		Kind: k, P: pl.p, Columns: cols,
+		Y:            make([]float64, pl.m.Rows*cols),
+		NonZeroTiles: len(pl.pt.Tiles),
+		cfg:          pl.cfg,
+	}
+	td := pl.cfg.DotLatency(pl.p)
+	for _, tr := range pf.tiles {
+		comp := tr.DecompCycles + tr.DotRows*cols*td
+		r.MemCycles += uint64(tr.MemCycles)
+		r.DecompCycles += uint64(tr.DecompCycles)
+		r.ComputeCycles += uint64(comp)
+		r.PipelinedCycles += uint64(max(tr.MemCycles, comp))
+	}
+	pl.ensureRows()
+	for _, row := range pl.rows {
+		for kk := row.start; kk < row.end; kk++ {
+			v := pl.vals[kk]
+			gj := int(pl.cols[kk])
+			for c := 0; c < cols; c++ {
+				r.Y[row.gi*cols+c] += v * b[gj*cols+c]
+			}
+		}
+	}
+	return r, nil
+}
+
+// Trace returns the per-partition streaming record in streaming order.
+func (pl *Plan) Trace(k formats.Kind) ([]TileTrace, error) {
+	pf, err := pl.format(k)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]TileTrace, 0, len(pl.pt.Tiles))
+	for i, tr := range pf.tiles {
+		tile := pl.pt.Tiles[i]
+		tt := TileTrace{
+			Row: tile.Row, Col: tile.Col, NNZ: tile.NNZ(),
+			MemCycles:     tr.MemCycles,
+			DecompCycles:  tr.DecompCycles,
+			ComputeCycles: tr.ComputeCycles,
+			Pipelined:     max(tr.MemCycles, tr.ComputeCycles),
+			MemoryBound:   tr.MemCycles > tr.ComputeCycles,
+		}
+		if tt.MemoryBound {
+			tt.Bubble = tr.MemCycles - tr.ComputeCycles
+		} else {
+			tt.Bubble = tr.ComputeCycles - tr.MemCycles
+		}
+		out = append(out, tt)
+	}
+	return out, nil
+}
+
+// Schedule computes the event-level three-stage pipeline timeline from
+// the cached per-tile costs.
+func (pl *Plan) Schedule(k formats.Kind) (*Schedule, error) {
+	pf, err := pl.format(k)
+	if err != nil {
+		return nil, err
+	}
+	s := &Schedule{Kind: k, P: pl.p, Tiles: make([]StageTimes, 0, len(pf.tiles)), cfg: pl.cfg}
+	var memFree, compFree, writeFree uint64
+	for _, tr := range pf.tiles {
+		var st StageTimes
+		st.MemStart = memFree
+		st.MemEnd = st.MemStart + uint64(tr.MemCycles)
+		memFree = st.MemEnd
+
+		st.ComputeStart = max64(st.MemEnd, compFree)
+		st.ComputeEnd = st.ComputeStart + uint64(tr.ComputeCycles)
+		compFree = st.ComputeEnd
+
+		st.WriteStart = max64(st.ComputeEnd, writeFree)
+		st.WriteEnd = st.WriteStart + uint64(pl.cfg.writeCycles(pl.p))
+		writeFree = st.WriteEnd
+
+		s.Tiles = append(s.Tiles, st)
+	}
+	s.Makespan = writeFree
+	return s, nil
+}

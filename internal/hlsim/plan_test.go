@@ -1,0 +1,233 @@
+package hlsim
+
+import (
+	"math"
+	"testing"
+
+	"copernicus/internal/formats"
+	"copernicus/internal/gen"
+	"copernicus/internal/matrix"
+)
+
+// TestPlanRunMatchesFreshRun: a reused plan must reproduce the one-shot
+// Run bit for bit — aggregates and functional output alike — for every
+// format.
+func TestPlanRunMatchesFreshRun(t *testing.T) {
+	cfg := Default()
+	m := gen.Random(100, 0.06, 21)
+	x := testVectorFor(m.Cols)
+	pl, err := NewPlan(cfg, m, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range formats.All() {
+		fresh, err := Run(cfg, m, k, 16, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Run twice on the shared plan; the second call exercises the
+		// fully cached path.
+		for call := 0; call < 2; call++ {
+			got, err := pl.Run(k, x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.MemCycles != fresh.MemCycles || got.ComputeCycles != fresh.ComputeCycles ||
+				got.DecompCycles != fresh.DecompCycles || got.PipelinedCycles != fresh.PipelinedCycles ||
+				got.IdleComputeCycles != fresh.IdleComputeCycles || got.StallMemCycles != fresh.StallMemCycles ||
+				got.DotRows != fresh.DotRows || got.NNZ != fresh.NNZ || got.Footprint != fresh.Footprint ||
+				got.NonZeroTiles != fresh.NonZeroTiles || got.TotalTiles != fresh.TotalTiles {
+				t.Fatalf("%v call %d: aggregates diverge from one-shot Run", k, call)
+			}
+			if got.Sigma() != fresh.Sigma() || got.BalanceRatio() != fresh.BalanceRatio() {
+				t.Fatalf("%v call %d: derived metrics diverge", k, call)
+			}
+			for i := range fresh.Y {
+				if got.Y[i] != fresh.Y[i] {
+					t.Fatalf("%v call %d: Y[%d] = %v, want %v", k, call, i, got.Y[i], fresh.Y[i])
+				}
+			}
+		}
+	}
+}
+
+// TestPlanSharedAcrossEntryPoints: one plan serves Run, RunParallel,
+// RunSpMM, Trace, and Schedule, matching the one-shot helpers.
+func TestPlanSharedAcrossEntryPoints(t *testing.T) {
+	cfg := Default()
+	m := gen.Random(96, 0.08, 23)
+	x := testVectorFor(m.Cols)
+	pl, err := NewPlan(cfg, m, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := formats.CSR
+
+	par, err := pl.RunParallel(k, x, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freshPar, err := RunParallel(cfg, m, k, 8, x, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.TotalCycles != freshPar.TotalCycles || par.Efficiency() != freshPar.Efficiency() {
+		t.Fatalf("parallel run diverges: %d vs %d cycles", par.TotalCycles, freshPar.TotalCycles)
+	}
+
+	const cols = 3
+	b := make([]float64, m.Cols*cols)
+	for i := range b {
+		b[i] = float64(i%7) - 3
+	}
+	mm, err := pl.RunSpMM(k, b, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freshMM, err := RunSpMM(cfg, m, k, 8, b, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mm.PipelinedCycles != freshMM.PipelinedCycles {
+		t.Fatalf("SpMM cycles diverge: %d vs %d", mm.PipelinedCycles, freshMM.PipelinedCycles)
+	}
+	for i := range freshMM.Y {
+		if mm.Y[i] != freshMM.Y[i] {
+			t.Fatalf("SpMM Y[%d] = %v, want %v", i, mm.Y[i], freshMM.Y[i])
+		}
+	}
+
+	tr, err := pl.Trace(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freshTr, err := Trace(cfg, m, k, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) != len(freshTr) {
+		t.Fatalf("trace lengths %d vs %d", len(tr), len(freshTr))
+	}
+	for i := range tr {
+		if tr[i] != freshTr[i] {
+			t.Fatalf("trace[%d] = %+v, want %+v", i, tr[i], freshTr[i])
+		}
+	}
+
+	sc, err := pl.Schedule(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freshSc, err := BuildSchedule(cfg, m, k, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Makespan != freshSc.Makespan {
+		t.Fatalf("makespan %d vs %d", sc.Makespan, freshSc.Makespan)
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPlanRunDoesNotReencode: once a format is cached, repeated SpMV
+// calls on a shared plan allocate only the Result and its output vector
+// — no tiles, no encodings, no decode buffers. The allocation count must
+// be a small constant independent of matrix size.
+func TestPlanRunDoesNotReencode(t *testing.T) {
+	cfg := Default()
+	for _, n := range []int{64, 256} {
+		m := gen.Random(n, 0.05, 29)
+		x := testVectorFor(m.Cols)
+		pl, err := NewPlan(cfg, m, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := pl.Run(formats.COO, x); err != nil {
+			t.Fatal(err) // warm the format cache
+		}
+		allocs := testing.AllocsPerRun(20, func() {
+			if _, err := pl.Run(formats.COO, x); err != nil {
+				t.Fatal(err)
+			}
+		})
+		// Result struct + Y vector (+ small constant slack); re-encoding
+		// or re-partitioning would show up as hundreds of allocations.
+		if allocs > 4 {
+			t.Fatalf("n=%d: %v allocs per cached Run, want <= 4", n, allocs)
+		}
+	}
+}
+
+// TestPlanVerifiesFunctionalOutput: the plan's sparse-aware functional
+// path must still match the software reference.
+func TestPlanFunctionalCorrectness(t *testing.T) {
+	cfg := Default()
+	m := gen.Circuit(150, 31)
+	x := testVectorFor(m.Cols)
+	want := m.MulVec(x)
+	pl, err := NewPlan(cfg, m, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range formats.Core() {
+		res, err := pl.Run(k, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if math.Abs(res.Y[i]-want[i]) > 1e-9 {
+				t.Fatalf("%v: y[%d] = %v, want %v", k, i, res.Y[i], want[i])
+			}
+		}
+	}
+}
+
+// TestPlanNaNEntries: the decode cross-check must tolerate NaN matrix
+// entries (the Matrix Market loader admits them) — NaN round-trips
+// through every encoder and must not read as stream corruption.
+func TestPlanNaNEntries(t *testing.T) {
+	b := matrix.NewBuilder(16, 16)
+	b.Add(2, 3, math.NaN())
+	b.Add(5, 5, 1.5)
+	m := b.Build()
+	pl, err := NewPlan(Default(), m, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 16)
+	for i := range x {
+		x[i] = 1
+	}
+	for _, k := range formats.Core() {
+		res, err := pl.Run(k, x)
+		if err != nil {
+			t.Fatalf("%v: NaN entry rejected: %v", k, err)
+		}
+		if !math.IsNaN(res.Y[2]) || res.Y[5] != 1.5 {
+			t.Fatalf("%v: Y = %v, want NaN at 2 and 1.5 at 5", k, res.Y)
+		}
+	}
+}
+
+// TestPlanArgumentErrors: the plan rejects bad vectors, lane counts, and
+// operand shapes exactly like the one-shot helpers.
+func TestPlanArgumentErrors(t *testing.T) {
+	m := gen.Random(32, 0.1, 37)
+	pl, err := NewPlan(Default(), m, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pl.Run(formats.CSR, make([]float64, 31)); err == nil {
+		t.Fatal("short vector accepted")
+	}
+	if _, err := pl.RunParallel(formats.CSR, make([]float64, 32), 0); err == nil {
+		t.Fatal("zero lanes accepted")
+	}
+	if _, err := pl.RunSpMM(formats.CSR, make([]float64, 5), 2); err == nil {
+		t.Fatal("misshapen operand accepted")
+	}
+	if _, err := NewPlan(Config{}, m, 8); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}

@@ -41,33 +41,14 @@ func (c Config) writeCycles(p int) int {
 }
 
 // BuildSchedule computes the event-level pipeline timeline for a run.
+// It builds a transient Plan; hold a NewPlan to schedule several formats
+// of one matrix.
 func BuildSchedule(cfg Config, m *matrix.CSR, k formats.Kind, p int) (*Schedule, error) {
-	if err := cfg.Validate(); err != nil {
+	pl, err := NewPlan(cfg, m, p)
+	if err != nil {
 		return nil, err
 	}
-	pt := matrix.Partition(m, p)
-	s := &Schedule{Kind: k, P: p, Tiles: make([]StageTimes, 0, len(pt.Tiles)), cfg: cfg}
-	var memFree, compFree, writeFree uint64
-	for _, tile := range pt.Tiles {
-		enc := formats.Encode(k, tile)
-		tr := RunTile(cfg, enc)
-		var st StageTimes
-		st.MemStart = memFree
-		st.MemEnd = st.MemStart + uint64(tr.MemCycles)
-		memFree = st.MemEnd
-
-		st.ComputeStart = max64(st.MemEnd, compFree)
-		st.ComputeEnd = st.ComputeStart + uint64(tr.ComputeCycles)
-		compFree = st.ComputeEnd
-
-		st.WriteStart = max64(st.ComputeEnd, writeFree)
-		st.WriteEnd = st.WriteStart + uint64(cfg.writeCycles(p))
-		writeFree = st.WriteEnd
-
-		s.Tiles = append(s.Tiles, st)
-	}
-	s.Makespan = writeFree
-	return s, nil
+	return pl.Schedule(k)
 }
 
 // Validate checks the schedule's structural invariants: stage intervals

@@ -1,8 +1,6 @@
 package hlsim
 
 import (
-	"fmt"
-
 	"copernicus/internal/formats"
 	"copernicus/internal/matrix"
 )
@@ -48,58 +46,12 @@ func (r *SpMMResult) SigmaPerColumn(dotRows uint64) float64 {
 }
 
 // RunSpMM multiplies m by the dense operand b (m.Cols × cols, row-major)
-// through the modelled pipeline in format k at partition size p.
+// through the modelled pipeline in format k at partition size p. It
+// builds a transient Plan; hold a NewPlan for repeated multiplications.
 func RunSpMM(cfg Config, m *matrix.CSR, k formats.Kind, p int, b []float64, cols int) (*SpMMResult, error) {
-	if err := cfg.Validate(); err != nil {
+	pl, err := NewPlan(cfg, m, p)
+	if err != nil {
 		return nil, err
 	}
-	if cols < 1 {
-		return nil, fmt.Errorf("hlsim: RunSpMM with %d columns", cols)
-	}
-	if len(b) != m.Cols*cols {
-		return nil, fmt.Errorf("hlsim: operand is %d values, want %d×%d", len(b), m.Cols, cols)
-	}
-	pt := matrix.Partition(m, p)
-	r := &SpMMResult{
-		Kind: k, P: p, Columns: cols,
-		Y:            make([]float64, m.Rows*cols),
-		NonZeroTiles: len(pt.Tiles),
-		cfg:          cfg,
-	}
-	td := cfg.DotLatency(p)
-	for _, tile := range pt.Tiles {
-		enc := formats.Encode(k, tile)
-		mem := cfg.MemCycles(enc)
-		dec := cfg.DecompCycles(enc)
-		comp := dec + enc.Stats().DotRows*cols*td
-		r.MemCycles += uint64(mem)
-		r.DecompCycles += uint64(dec)
-		r.ComputeCycles += uint64(comp)
-		r.PipelinedCycles += uint64(max(mem, comp))
-
-		dt, err := enc.Decode()
-		if err != nil {
-			return nil, fmt.Errorf("hlsim: tile (%d,%d): %w", tile.Row, tile.Col, err)
-		}
-		for i := 0; i < p; i++ {
-			gi := tile.Row + i
-			if gi >= m.Rows {
-				break
-			}
-			for j := 0; j < p; j++ {
-				gj := tile.Col + j
-				if gj >= m.Cols {
-					break
-				}
-				v := dt.At(i, j)
-				if v == 0 {
-					continue
-				}
-				for c := 0; c < cols; c++ {
-					r.Y[gi*cols+c] += v * b[gj*cols+c]
-				}
-			}
-		}
-	}
-	return r, nil
+	return pl.RunSpMM(k, b, cols)
 }

@@ -26,32 +26,14 @@ type TileTrace struct {
 }
 
 // Trace streams every non-zero partition and records a TileTrace per
-// tile, in streaming order.
+// tile, in streaming order. It builds a transient Plan; hold a NewPlan
+// to trace several formats of one matrix.
 func Trace(cfg Config, m *matrix.CSR, k formats.Kind, p int) ([]TileTrace, error) {
-	if err := cfg.Validate(); err != nil {
+	pl, err := NewPlan(cfg, m, p)
+	if err != nil {
 		return nil, err
 	}
-	pt := matrix.Partition(m, p)
-	out := make([]TileTrace, 0, len(pt.Tiles))
-	for _, tile := range pt.Tiles {
-		enc := formats.Encode(k, tile)
-		tr := RunTile(cfg, enc)
-		tt := TileTrace{
-			Row: tile.Row, Col: tile.Col, NNZ: tile.NNZ(),
-			MemCycles:     tr.MemCycles,
-			DecompCycles:  tr.DecompCycles,
-			ComputeCycles: tr.ComputeCycles,
-			Pipelined:     max(tr.MemCycles, tr.ComputeCycles),
-			MemoryBound:   tr.MemCycles > tr.ComputeCycles,
-		}
-		if tt.MemoryBound {
-			tt.Bubble = tr.MemCycles - tr.ComputeCycles
-		} else {
-			tt.Bubble = tr.ComputeCycles - tr.MemCycles
-		}
-		out = append(out, tt)
-	}
-	return out, nil
+	return pl.Trace(k)
 }
 
 // TraceSummary aggregates a trace.

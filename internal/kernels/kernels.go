@@ -32,14 +32,23 @@ func Software(m *matrix.CSR) SpMV {
 // Accelerator returns an SpMV backend that streams m through the
 // modelled pipeline in format k at partition size p. The returned
 // CycleCost reports the modelled cycles of one multiplication.
+//
+// The backend holds an encode-once streaming plan: the matrix is
+// partitioned, encoded, and decode-verified when the backend is built,
+// so each solver iteration pays only the per-iteration dot work instead
+// of re-running the whole partition→encode→decode pipeline.
 func Accelerator(cfg hlsim.Config, m *matrix.CSR, k formats.Kind, p int) (mul SpMV, cycleCost uint64, err error) {
-	// Probe once to validate and price the multiplication.
-	probe, err := hlsim.Run(cfg, m, k, p, make([]float64, m.Cols))
+	plan, err := hlsim.NewPlan(cfg, m, p)
+	if err != nil {
+		return nil, 0, err
+	}
+	// Probe once to validate the encoding and price the multiplication.
+	probe, err := plan.Run(k, make([]float64, m.Cols))
 	if err != nil {
 		return nil, 0, err
 	}
 	return func(x []float64) ([]float64, error) {
-		r, err := hlsim.Run(cfg, m, k, p, x)
+		r, err := plan.Run(k, x)
 		if err != nil {
 			return nil, err
 		}

@@ -1,9 +1,6 @@
 package matrix
 
-import (
-	"fmt"
-	"sort"
-)
+import "fmt"
 
 // Tile is one dense p×p partition of a larger sparse matrix. Copernicus
 // applies every compression format to non-zero partitions rather than to
@@ -19,6 +16,12 @@ type Tile struct {
 	Row, Col int       // origin of the tile in the parent matrix
 	Val      []float64 // P*P row-major values
 	nnz      int
+	// rowNNZ caches the per-row non-zero counts and nzRows the number of
+	// rows with at least one non-zero, maintained by Set, so RowNNZ and
+	// NonZeroRows are O(1) instead of rescanning up to P² values. Both
+	// are consulted on every tile by the cycle model and Fig. 3 stats.
+	rowNNZ []int
+	nzRows int
 }
 
 // NewTile returns an all-zero p×p tile at the given origin.
@@ -26,17 +29,25 @@ func NewTile(p, row, col int) *Tile {
 	if p <= 0 {
 		panic(fmt.Sprintf("matrix: NewTile with p=%d", p))
 	}
-	return &Tile{P: p, Row: row, Col: col, Val: make([]float64, p*p)}
+	return &Tile{P: p, Row: row, Col: col, Val: make([]float64, p*p), rowNNZ: make([]int, p)}
 }
 
-// Set stores v at local coordinates (i, j), maintaining the nnz count.
+// Set stores v at local coordinates (i, j), maintaining the nnz counts.
 func (t *Tile) Set(i, j int, v float64) {
 	k := i*t.P + j
 	old := t.Val[k]
 	if old != 0 && v == 0 {
 		t.nnz--
+		t.rowNNZ[i]--
+		if t.rowNNZ[i] == 0 {
+			t.nzRows--
+		}
 	} else if old == 0 && v != 0 {
 		t.nnz++
+		if t.rowNNZ[i] == 0 {
+			t.nzRows++
+		}
+		t.rowNNZ[i]++
 	}
 	t.Val[k] = v
 }
@@ -51,33 +62,19 @@ func (t *Tile) NNZ() int { return t.nnz }
 func (t *Tile) Density() float64 { return float64(t.nnz) / float64(t.P*t.P) }
 
 // RowNNZ returns the number of non-zeros in local row i.
-func (t *Tile) RowNNZ(i int) int {
-	n := 0
-	for j := 0; j < t.P; j++ {
-		if t.Val[i*t.P+j] != 0 {
-			n++
-		}
-	}
-	return n
-}
+func (t *Tile) RowNNZ(i int) int { return t.rowNNZ[i] }
 
 // NonZeroRows returns the count of rows with at least one non-zero. This
 // drives both the dot-product count in Eq. (1) and the inner-pipeline
 // utilization discussed in §5.1.
-func (t *Tile) NonZeroRows() int {
-	n := 0
-	for i := 0; i < t.P; i++ {
-		if t.RowNNZ(i) > 0 {
-			n++
-		}
-	}
-	return n
-}
+func (t *Tile) NonZeroRows() int { return t.nzRows }
 
 // Clone returns a deep copy of the tile.
 func (t *Tile) Clone() *Tile {
-	c := &Tile{P: t.P, Row: t.Row, Col: t.Col, Val: make([]float64, len(t.Val)), nnz: t.nnz}
+	c := &Tile{P: t.P, Row: t.Row, Col: t.Col, Val: make([]float64, len(t.Val)),
+		nnz: t.nnz, rowNNZ: make([]int, t.P), nzRows: t.nzRows}
 	copy(c.Val, t.Val)
+	copy(c.rowNNZ, t.rowNNZ)
 	return c
 }
 
@@ -130,6 +127,11 @@ func (pt *Partitioning) ZeroTiles() int { return pt.TotalTiles - len(pt.Tiles) }
 // Partition extracts all non-zero p×p tiles of m in block-row-major order.
 // Boundary tiles are zero-padded. The tiles reassemble exactly to m (see
 // Assemble), a property the test suite checks by round-trip.
+//
+// The extraction is a single scan of the CSR arrays per block row: tiles
+// are bucketed by block column into a scratch array reused across block
+// rows, then drained in ascending block-column order — no per-block-row
+// map or sort.
 func Partition(m *CSR, p int) *Partitioning {
 	if p <= 0 {
 		panic(fmt.Sprintf("matrix: Partition with p=%d", p))
@@ -138,28 +140,33 @@ func Partition(m *CSR, p int) *Partitioning {
 	gc := (m.Cols + p - 1) / p
 	pt := &Partitioning{P: p, GridRows: gr, GridCols: gc, TotalTiles: gr * gc}
 
+	scratch := make([]*Tile, gc) // block column → pending tile, reused
 	for br := 0; br < gr; br++ {
 		rowEnd := min((br+1)*p, m.Rows)
-		// Gather this block-row's entries into tiles keyed by block column.
-		byCol := make(map[int]*Tile)
+		minBC, maxBC := gc, -1
 		for i := br * p; i < rowEnd; i++ {
 			for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
 				bc := m.Col[k] / p
-				t, ok := byCol[bc]
-				if !ok {
+				t := scratch[bc]
+				if t == nil {
 					t = NewTile(p, br*p, bc*p)
-					byCol[bc] = t
+					scratch[bc] = t
+					if bc < minBC {
+						minBC = bc
+					}
+					if bc > maxBC {
+						maxBC = bc
+					}
 				}
 				t.Set(i-br*p, m.Col[k]-bc*p, m.Val[k])
 			}
 		}
-		cols := make([]int, 0, len(byCol))
-		for bc := range byCol {
-			cols = append(cols, bc)
-		}
-		sort.Ints(cols)
-		for _, bc := range cols {
-			pt.Tiles = append(pt.Tiles, byCol[bc])
+		// Drain the touched block-column range in ascending order.
+		for bc := minBC; bc <= maxBC; bc++ {
+			if scratch[bc] != nil {
+				pt.Tiles = append(pt.Tiles, scratch[bc])
+				scratch[bc] = nil
+			}
 		}
 	}
 	return pt

@@ -113,8 +113,12 @@ func Ext4(o *Options) (Table, error) {
 	for _, width := range []int{4, 8, 16, 32} {
 		cfg := o.Engine.Config()
 		cfg.AXIBytesPerCycle = width
+		pl, err := hlsim.NewPlan(cfg, m, 16)
+		if err != nil {
+			return Table{}, err
+		}
 		for _, k := range []formats.Kind{formats.Dense, formats.CSR, formats.CSC, formats.COO} {
-			r, err := hlsim.Run(cfg, m, k, 16, x)
+			r, err := pl.Run(k, x)
 			if err != nil {
 				return Table{}, err
 			}
@@ -246,13 +250,17 @@ func Ext3(o *Options) (Table, error) {
 	for _, d := range []float64{0.001, 0.1} {
 		m := gen.Random(dim, d, o.WL.Seed+0xE37)
 		x := make([]float64, m.Cols)
+		pl, err := hlsim.NewPlan(cfg, m, 16)
+		if err != nil {
+			return Table{}, err
+		}
 		for _, k := range []formats.Kind{formats.COO, formats.CSR} {
-			base, err := hlsim.RunParallel(cfg, m, k, 16, x, 1)
+			base, err := pl.RunParallel(k, x, 1)
 			if err != nil {
 				return Table{}, err
 			}
 			for lanes := 1; lanes <= 16; lanes *= 2 {
-				r, err := hlsim.RunParallel(cfg, m, k, 16, x, lanes)
+				r, err := pl.RunParallel(k, x, lanes)
 				if err != nil {
 					return Table{}, err
 				}
