@@ -9,6 +9,7 @@
 //	copernicus advise [flags]            # recommend a format for a matrix
 //	copernicus workloads [flags]         # describe the workload suites
 //	copernicus bench -json [flags]       # time the engine hot paths, emit BENCH_sweep.json
+//	copernicus serve [flags]             # long-running characterization service (HTTP/JSON)
 //
 // Flags:
 //
@@ -66,6 +67,9 @@ func run(args []string) error {
 	tiles := fs.Int("tiles", 12, "maximum tiles to render (trace)")
 	jsonOut := fs.Bool("json", false, "write bench results as JSON (bench)")
 	iters := fs.Int("iters", 5, "timed iterations per benchmark (bench)")
+	addr := fs.String("addr", "localhost:8459", "listen address (serve)")
+	workers := fs.Int("workers", 0, "sweep worker-pool size, 0 = GOMAXPROCS (serve)")
+	cacheEntries := fs.Int("cache", 256, "sweep result cache entries (serve)")
 	if err := fs.Parse(rest); err != nil {
 		return err
 	}
@@ -121,6 +125,8 @@ func run(args []string) error {
 		return trace(m, *format, *p, *tiles)
 	case "bench":
 		return benchCmd(*scale, *iters, *jsonOut, *out)
+	case "serve":
+		return serve(*addr, *scale, *workers, *cacheEntries)
 	case "workloads":
 		return describeWorkloads(*scale)
 	case "help", "-h", "--help":
@@ -138,7 +144,7 @@ func run(args []string) error {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: copernicus <list|all|advise|stats|convert|scaling|bench|workloads|fig3..fig14|table2> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: copernicus <list|all|advise|stats|convert|scaling|bench|serve|workloads|fig3..fig14|table2> [flags]`)
 }
 
 // benchResult is one timed benchmark in the BENCH_sweep.json record.

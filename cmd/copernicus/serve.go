@@ -1,0 +1,57 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"copernicus"
+	"copernicus/internal/service"
+)
+
+// serve runs the long-running characterization service: the HTTP/JSON
+// API over a single warm engine, so concurrent clients share cached
+// plans and sweep results. It shuts down gracefully on SIGINT/SIGTERM,
+// draining in-flight requests for up to ten seconds.
+func serve(addr string, scale, workers, cacheEntries int) error {
+	e := copernicus.NewEngine()
+	if workers > 0 {
+		e.SetWorkers(workers)
+	}
+	svc := service.New(service.Options{Engine: e, Scale: scale, CacheEntries: cacheEntries})
+	hs := &http.Server{
+		Addr:              addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	fmt.Printf("copernicus service on %s: %d built-in matrices (scale %d), %d workers\n",
+		addr, svc.Registry().Len(), scale, e.Workers())
+
+	select {
+	case err := <-errCh:
+		return err // bind failure or unexpected server exit
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second ^C kills immediately
+	fmt.Fprintln(os.Stderr, "copernicus: draining connections")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errCh; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

@@ -402,8 +402,28 @@ func PartitionSizes() []int { return append([]int(nil), workloads.PartitionSizes
 // (real/integer/pattern; general/symmetric/skew-symmetric).
 func ReadMatrixMarket(r io.Reader) (*Matrix, error) { return mtx.Read(r) }
 
+// MatrixMarketLimits bounds what ReadMatrixMarketLimited will ingest;
+// zero fields are unlimited. Oversized streams are rejected from the
+// size line alone, before any per-entry parsing.
+type MatrixMarketLimits = mtx.Limits
+
+// ReadMatrixMarketLimited is ReadMatrixMarket with ingestion bounds —
+// the form a service front-end uses on untrusted uploads.
+func ReadMatrixMarketLimited(r io.Reader, lim MatrixMarketLimits) (*Matrix, error) {
+	return mtx.ReadLimited(r, lim)
+}
+
 // WriteMatrixMarket emits the matrix in coordinate-real-general form.
+// A matrix read from symmetric storage has been expanded to both
+// triangles, so its general-form file stores roughly twice the original
+// entry count (the matrix itself still round trips exactly); use
+// WriteMatrixMarketSymmetric to regain triangular storage.
 func WriteMatrixMarket(w io.Writer, m *Matrix) error { return mtx.Write(w, m) }
+
+// WriteMatrixMarketSymmetric emits a symmetric matrix in
+// coordinate-real-symmetric form, storing only the lower triangle; it
+// errors if m is not exactly symmetric.
+func WriteMatrixMarketSymmetric(w io.Writer, m *Matrix) error { return mtx.WriteSymmetric(w, m) }
 
 // LoadMatrixMarket reads a .mtx file from disk.
 func LoadMatrixMarket(path string) (*Matrix, error) {

@@ -50,6 +50,18 @@ func (e *Engine) Recommend(m *matrix.CSR, p int, candidates []formats.Kind, obj 
 	if err != nil {
 		return Recommendation{}, err
 	}
+	return Rank(rs, obj)
+}
+
+// Rank orders precomputed characterization results under the objective
+// without touching the engine. It is the advisor's scoring half, split
+// out so callers holding cached sweep results — the serving layer's
+// advise path — can recommend a format without re-running the sweep. The
+// results should cover one (matrix, p) point across candidate formats.
+func Rank(rs []Result, obj Objective) (Recommendation, error) {
+	if len(rs) == 0 {
+		return Recommendation{}, fmt.Errorf("core: no results to rank")
+	}
 	scores := scoreResults(rs, obj)
 
 	order := make([]int, len(rs))
@@ -69,7 +81,7 @@ func (e *Engine) Recommend(m *matrix.CSR, p int, candidates []formats.Kind, obj 
 	best := rs[order[0]]
 	rec.Reason = fmt.Sprintf(
 		"%v wins at p=%d: modelled time %.3gs (σ=%.2f), bandwidth utilization %.2f, %.0f mW dynamic, %d BRAM banks",
-		best.Format, p, best.Seconds, best.Sigma, best.BandwidthUtil,
+		best.Format, best.P, best.Seconds, best.Sigma, best.BandwidthUtil,
 		best.Synth.DynamicW*1000, best.Synth.BRAM18K)
 	return rec, nil
 }

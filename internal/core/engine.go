@@ -8,6 +8,7 @@
 package core
 
 import (
+	"container/list"
 	"fmt"
 	"math"
 	"runtime"
@@ -81,22 +82,44 @@ type Engine struct {
 	workers int
 
 	mu    sync.Mutex
-	plans map[planKey]*hlsim.Plan
+	plans map[planKey]*list.Element // value: *planEntry
+	lru   *list.List                // front = most recently used
+	stats PlanStats
 }
 
 // planKey identifies a cached streaming plan. Matrices are treated as
 // immutable once characterized (every producer in this repository builds
 // them once via Builder), so identity by pointer is sound. Note the key
 // pins its matrix (and the plan its tiles) until eviction; engines fed a
-// stream of large one-off matrices should call DropPlans between them.
+// stream of large one-off matrices should call DropPlans or DropPlansFor
+// between them.
 type planKey struct {
 	m *matrix.CSR
 	p int
 }
 
-// maxCachedPlans bounds the plan cache; beyond it the cache resets, which
-// only costs re-encoding on a later miss.
+// planEntry is one LRU node: the key lets eviction delete the map slot
+// from the list element alone.
+type planEntry struct {
+	key planKey
+	pl  *hlsim.Plan
+}
+
+// maxCachedPlans bounds the plan cache. Beyond it the least-recently-used
+// entry is evicted — hot plans stay warm under sustained mixed traffic,
+// and a later miss on the evicted point only re-pays that one encoding.
 const maxCachedPlans = 128
+
+// PlanStats counts plan-cache traffic since the engine was created.
+// Hits are requests served by a cached plan (the amortized regime: no
+// re-partition, no re-encode); misses built a new plan; evictions are
+// LRU capacity drops, not explicit DropPlans calls.
+type PlanStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Cached    int    `json:"cached"`
+}
 
 // New returns an engine with the calibrated default hardware model.
 func New() *Engine {
@@ -112,7 +135,12 @@ func NewWithConfig(cfg hlsim.Config) (*Engine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Engine{cfg: cfg, verifyTol: 1e-9, plans: make(map[planKey]*hlsim.Plan)}, nil
+	return &Engine{
+		cfg:       cfg,
+		verifyTol: 1e-9,
+		plans:     make(map[planKey]*list.Element),
+		lru:       list.New(),
+	}, nil
 }
 
 // Config returns the engine's hardware configuration.
@@ -143,40 +171,74 @@ func (e *Engine) Workers() int {
 
 // DropPlans empties the plan cache. Long-lived engines characterizing a
 // stream of large one-off matrices can call it to release the cached
-// partitionings (and the matrices they pin) without waiting for the
-// size-triggered reset.
+// partitionings (and the matrices they pin) without waiting for LRU
+// eviction.
 func (e *Engine) DropPlans() {
 	e.mu.Lock()
-	e.plans = make(map[planKey]*hlsim.Plan)
+	e.plans = make(map[planKey]*list.Element)
+	e.lru.Init()
 	e.mu.Unlock()
 }
 
+// DropPlansFor releases every cached plan of one matrix — all partition
+// sizes — unpinning it from the engine. Services that key matrices by ID
+// call this when an ID is deleted, ending that matrix's plan lifecycle
+// without disturbing other warm plans.
+func (e *Engine) DropPlansFor(m *matrix.CSR) {
+	e.mu.Lock()
+	for el := e.lru.Front(); el != nil; {
+		next := el.Next()
+		if ent := el.Value.(*planEntry); ent.key.m == m {
+			e.lru.Remove(el)
+			delete(e.plans, ent.key)
+		}
+		el = next
+	}
+	e.mu.Unlock()
+}
+
+// PlanStats returns a snapshot of the plan-cache counters.
+func (e *Engine) PlanStats() PlanStats {
+	e.mu.Lock()
+	s := e.stats
+	s.Cached = len(e.plans)
+	e.mu.Unlock()
+	return s
+}
+
 // plan returns the cached streaming plan for (m, p), building it on the
-// first request.
+// first request and promoting it to most-recently-used on every hit.
 func (e *Engine) plan(m *matrix.CSR, p int) (*hlsim.Plan, error) {
 	key := planKey{m: m, p: p}
 	e.mu.Lock()
-	pl, ok := e.plans[key]
-	e.mu.Unlock()
-	if ok {
+	if el, ok := e.plans[key]; ok {
+		e.lru.MoveToFront(el)
+		e.stats.Hits++
+		pl := el.Value.(*planEntry).pl
+		e.mu.Unlock()
 		return pl, nil
 	}
+	e.mu.Unlock()
 	pl, err := hlsim.NewPlan(e.cfg, m, p)
 	if err != nil {
 		return nil, err
 	}
 	e.mu.Lock()
-	if len(e.plans) >= maxCachedPlans {
-		e.plans = make(map[planKey]*hlsim.Plan)
-	}
+	defer e.mu.Unlock()
+	e.stats.Misses++
 	// Prefer a plan another goroutine may have raced in, so concurrent
 	// sweep groups over the same point share encodings.
-	if prior, ok := e.plans[key]; ok {
-		pl = prior
-	} else {
-		e.plans[key] = pl
+	if el, ok := e.plans[key]; ok {
+		e.lru.MoveToFront(el)
+		return el.Value.(*planEntry).pl, nil
 	}
-	e.mu.Unlock()
+	e.plans[key] = e.lru.PushFront(&planEntry{key: key, pl: pl})
+	for len(e.plans) > maxCachedPlans {
+		oldest := e.lru.Back()
+		e.lru.Remove(oldest)
+		delete(e.plans, oldest.Value.(*planEntry).key)
+		e.stats.Evictions++
+	}
 	return pl, nil
 }
 

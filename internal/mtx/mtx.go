@@ -48,13 +48,55 @@ func parseBanner(line string) (header, error) {
 	default:
 		return header{}, fmt.Errorf("mtx: unsupported symmetry %q", h.symmetry)
 	}
+	if h.field == "pattern" && h.symmetry == "skew-symmetric" {
+		// The MM spec defines skew symmetry only for valued fields: a
+		// pattern entry has no sign to negate.
+		return header{}, fmt.Errorf("mtx: pattern field cannot be skew-symmetric")
+	}
 	return h, nil
+}
+
+// Limits bounds what ReadLimited will ingest. Zero fields are unlimited.
+// The size line is checked before any entry is read or allocated, so an
+// oversized stream is rejected in O(1) — the check a service front-end
+// needs before accepting an upload.
+type Limits struct {
+	MaxRows    int
+	MaxCols    int
+	MaxEntries int // stored entries promised by the size line (before symmetric expansion)
+}
+
+// parseSizeLine parses the "rows cols nnz" size line strictly: exactly
+// three integer fields, no trailing garbage (fmt.Sscan would silently
+// accept "10 10 5 junk").
+func parseSizeLine(line string) (rows, cols, nnz int, err error) {
+	f := strings.Fields(line)
+	if len(f) != 3 {
+		return 0, 0, 0, fmt.Errorf("mtx: bad size line %q: want exactly \"rows cols nnz\"", line)
+	}
+	dims := make([]int, 3)
+	for i, s := range f {
+		dims[i], err = strconv.Atoi(s)
+		if err != nil {
+			return 0, 0, 0, fmt.Errorf("mtx: bad size line %q: %w", line, err)
+		}
+	}
+	return dims[0], dims[1], dims[2], nil
 }
 
 // Read parses a Matrix Market coordinate stream into a CSR matrix.
 // Duplicate entries are summed (the collection's assembly convention);
 // symmetric storage is expanded.
 func Read(r io.Reader) (*matrix.CSR, error) {
+	return ReadLimited(r, Limits{})
+}
+
+// ReadLimited is Read with ingestion bounds: streams that declare more
+// rows, columns, or stored entries than the limits allow are rejected
+// from the size line alone, before any per-entry work. A stream that
+// carries more entry lines than its size line promises is also cut off
+// at the first excess line rather than parsed to exhaustion.
+func ReadLimited(r io.Reader, lim Limits) (*matrix.CSR, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<24)
 
@@ -76,13 +118,22 @@ func Read(r io.Reader) (*matrix.CSR, error) {
 		if line == "" || strings.HasPrefix(line, "%") {
 			continue
 		}
-		if _, err := fmt.Sscan(line, &rows, &cols, &nnz); err != nil {
-			return nil, fmt.Errorf("mtx: bad size line %q: %w", line, err)
+		if rows, cols, nnz, err = parseSizeLine(line); err != nil {
+			return nil, err
 		}
 		break
 	}
 	if rows < 0 || cols < 0 || nnz < 0 {
 		return nil, fmt.Errorf("mtx: negative dimensions %d %d %d", rows, cols, nnz)
+	}
+	if lim.MaxRows > 0 && rows > lim.MaxRows {
+		return nil, fmt.Errorf("mtx: %d rows exceeds limit %d", rows, lim.MaxRows)
+	}
+	if lim.MaxCols > 0 && cols > lim.MaxCols {
+		return nil, fmt.Errorf("mtx: %d columns exceeds limit %d", cols, lim.MaxCols)
+	}
+	if lim.MaxEntries > 0 && nnz > lim.MaxEntries {
+		return nil, fmt.Errorf("mtx: %d entries exceeds limit %d", nnz, lim.MaxEntries)
 	}
 	if h.symmetry != "general" && rows != cols {
 		return nil, fmt.Errorf("mtx: %s symmetry requires a square matrix, got %dx%d", h.symmetry, rows, cols)
@@ -94,6 +145,9 @@ func Read(r io.Reader) (*matrix.CSR, error) {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "%") {
 			continue
+		}
+		if seen >= nnz {
+			return nil, fmt.Errorf("mtx: more entries than the %d the header promises", nnz)
 		}
 		f := strings.Fields(line)
 		want := 3
@@ -121,6 +175,13 @@ func Read(r io.Reader) (*matrix.CSR, error) {
 				return nil, fmt.Errorf("mtx: entry %d: bad value %q", seen+1, f[2])
 			}
 		}
+		// The MM spec stores only the strictly lower triangle of a
+		// skew-symmetric matrix: A[i][i] = -A[i][i] forces a zero
+		// diagonal, so a stored diagonal entry is a spec violation that
+		// would silently yield a non-skew-symmetric matrix.
+		if h.symmetry == "skew-symmetric" && i == j {
+			return nil, fmt.Errorf("mtx: entry %d: diagonal entry (%d,%d) in a skew-symmetric matrix", seen+1, i, j)
+		}
 		b.Add(i-1, j-1, v)
 		switch h.symmetry {
 		case "symmetric":
@@ -128,9 +189,7 @@ func Read(r io.Reader) (*matrix.CSR, error) {
 				b.Add(j-1, i-1, v)
 			}
 		case "skew-symmetric":
-			if i != j {
-				b.Add(j-1, i-1, -v)
-			}
+			b.Add(j-1, i-1, -v)
 		}
 		seen++
 	}
@@ -144,6 +203,15 @@ func Read(r io.Reader) (*matrix.CSR, error) {
 }
 
 // Write emits the matrix in Matrix Market coordinate-real-general form.
+//
+// General form stores every non-zero explicitly. That loses nothing
+// numerically — pattern- and integer-sourced matrices write their values
+// as reals and read back identical — but a file that was read from
+// symmetric (or skew-symmetric) storage has already been expanded to
+// both triangles, so writing it back in general form stores roughly
+// twice the entry count of the original file. The matrix still round
+// trips exactly; only the on-disk representation grows. Use
+// WriteSymmetric to regain triangular storage for a symmetric matrix.
 func Write(w io.Writer, m *matrix.CSR) error {
 	bw := bufio.NewWriter(w)
 	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate real general\n"); err != nil {
@@ -156,6 +224,47 @@ func Write(w io.Writer, m *matrix.CSR) error {
 		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
 			if _, err := fmt.Fprintf(bw, "%d %d %.17g\n", i+1, m.Col[k]+1, m.Val[k]); err != nil {
 				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteSymmetric emits the matrix in coordinate-real-symmetric form,
+// storing only the lower triangle — the inverse of Read's symmetric
+// expansion, so a symmetric file round trips at its original entry
+// count. It refuses a matrix that is not exactly symmetric rather than
+// silently writing a file that would read back different.
+func WriteSymmetric(w io.Writer, m *matrix.CSR) error {
+	if m.Rows != m.Cols {
+		return fmt.Errorf("mtx: symmetric form requires a square matrix, got %dx%d", m.Rows, m.Cols)
+	}
+	lower := 0
+	for i := 0; i < m.Rows; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			j := m.Col[k]
+			if m.At(j, i) != m.Val[k] {
+				return fmt.Errorf("mtx: not symmetric: A[%d][%d]=%g but A[%d][%d]=%g",
+					i, j, m.Val[k], j, i, m.At(j, i))
+			}
+			if j <= i {
+				lower++
+			}
+		}
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate real symmetric\n"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "%%generated by copernicus\n%d %d %d\n", m.Rows, m.Cols, lower); err != nil {
+		return err
+	}
+	for i := 0; i < m.Rows; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			if j := m.Col[k]; j <= i {
+				if _, err := fmt.Fprintf(bw, "%d %d %.17g\n", i+1, j+1, m.Val[k]); err != nil {
+					return err
+				}
 			}
 		}
 	}

@@ -109,6 +109,17 @@ func TestReadRejections(t *testing.T) {
 		// Fuzz-found: mirroring a symmetric entry on a non-square matrix
 		// lands out of range.
 		"non-square symmetric": "%%MatrixMarket matrix coordinate real symmetric\n7 1 1\n2 1 1\n",
+		// The MM spec forbids stored diagonals in skew-symmetric files
+		// (A[i][i] = -A[i][i] forces zero); accepting one yields a matrix
+		// that is not skew-symmetric.
+		"skew diagonal": "%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 1\n2 2 4\n",
+		// Pattern entries have no sign to negate.
+		"pattern skew": "%%MatrixMarket matrix coordinate pattern skew-symmetric\n2 2 1\n2 1\n",
+		// fmt.Sscan used to accept trailing garbage on the size line.
+		"size line trailing garbage": "%%MatrixMarket matrix coordinate real general\n10 10 5 junk\n1 1 1\n1 2 1\n2 1 1\n2 2 1\n3 3 1\n",
+		"size line extra number":     "%%MatrixMarket matrix coordinate real general\n2 2 1 7\n1 1 1\n",
+		"size line too few":          "%%MatrixMarket matrix coordinate real general\n2 2\n1 1 1\n",
+		"more entries than promised": "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 1\n2 2 1\n",
 	}
 	for name, in := range cases {
 		if _, err := Read(strings.NewReader(in)); err == nil {
@@ -152,6 +163,116 @@ func TestRoundTripStructured(t *testing.T) {
 		if !matrix.Equal(m, back, 0) {
 			t.Fatal("round trip mismatch")
 		}
+	}
+}
+
+func TestReadLimited(t *testing.T) {
+	in := "%%MatrixMarket matrix coordinate real general\n100 50 3\n1 1 1\n2 2 2\n3 3 3\n"
+	if _, err := ReadLimited(strings.NewReader(in), Limits{MaxRows: 64}); err == nil {
+		t.Fatal("row limit not enforced")
+	}
+	if _, err := ReadLimited(strings.NewReader(in), Limits{MaxCols: 32}); err == nil {
+		t.Fatal("column limit not enforced")
+	}
+	if _, err := ReadLimited(strings.NewReader(in), Limits{MaxEntries: 2}); err == nil {
+		t.Fatal("entry limit not enforced")
+	}
+	m, err := ReadLimited(strings.NewReader(in), Limits{MaxRows: 100, MaxCols: 50, MaxEntries: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 3 {
+		t.Fatalf("nnz = %d, want 3", m.NNZ())
+	}
+	// Zero limits mean unlimited.
+	if _, err := ReadLimited(strings.NewReader(in), Limits{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSymmetricRoundTrip: a symmetric file read (expanded) and written
+// back with WriteSymmetric keeps its stored entry count; the general-form
+// Write doubles the stored entries but still round trips the matrix
+// exactly (the documented trade-off).
+func TestSymmetricRoundTrip(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real symmetric
+3 3 4
+1 1 2
+2 1 -1
+3 2 -1
+3 3 2
+`
+	m, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 6 {
+		t.Fatalf("expanded nnz = %d, want 6", m.NNZ())
+	}
+
+	var sym bytes.Buffer
+	if err := WriteSymmetric(&sym, m); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sym.String(), "coordinate real symmetric") {
+		t.Fatal("symmetric banner missing")
+	}
+	if !strings.Contains(sym.String(), "3 3 4") {
+		t.Fatalf("symmetric form should store 4 entries, got:\n%s", sym.String())
+	}
+	back, err := Read(bytes.NewReader(sym.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.Equal(m, back, 0) {
+		t.Fatal("symmetric round trip mismatch")
+	}
+
+	var general bytes.Buffer
+	if err := Write(&general, m); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(general.String(), "3 3 6") {
+		t.Fatalf("general form stores the expanded 6 entries, got:\n%s", general.String())
+	}
+	back, err = Read(bytes.NewReader(general.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.Equal(m, back, 0) {
+		t.Fatal("general round trip mismatch")
+	}
+}
+
+func TestWriteSymmetricRejectsAsymmetric(t *testing.T) {
+	b := matrix.NewBuilder(2, 2)
+	b.Add(0, 1, 3) // no mirrored (1,0) entry
+	if err := WriteSymmetric(&bytes.Buffer{}, b.Build()); err == nil {
+		t.Fatal("asymmetric matrix accepted")
+	}
+	if err := WriteSymmetric(&bytes.Buffer{}, matrix.NewBuilder(2, 3).Build()); err == nil {
+		t.Fatal("non-square matrix accepted")
+	}
+}
+
+// TestPatternRoundTrip: pattern files read as 1.0-valued entries and
+// round trip exactly through the real-general writer.
+func TestPatternRoundTrip(t *testing.T) {
+	in := "%%MatrixMarket matrix coordinate pattern general\n3 3 2\n1 2\n3 1\n"
+	m, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.Equal(m, back, 0) {
+		t.Fatal("pattern round trip mismatch")
 	}
 }
 

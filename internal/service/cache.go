@@ -1,0 +1,142 @@
+package service
+
+import (
+	"container/list"
+	"errors"
+	"strings"
+	"sync"
+)
+
+// CacheStats counts result-cache traffic.
+type CacheStats struct {
+	// Hits were served from the cache; Misses ran the compute function;
+	// Shared callers attached to another caller's in-flight compute
+	// (singleflight) and never ran the engine themselves.
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Shared    uint64 `json:"shared"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+}
+
+// flight is one in-progress compute that late arrivals wait on.
+type flight struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// resultCache is an LRU-evicted cache of computed sweep results with
+// singleflight deduplication: concurrent requests for the same key share
+// a single compute instead of racing the engine N times. Errors are
+// returned to every waiter but never cached — a transient failure does
+// not poison the key.
+type resultCache struct {
+	mu       sync.Mutex
+	cap      int
+	entries  map[string]*list.Element // value: *cacheEntry
+	lru      *list.List               // front = most recently used
+	inflight map[string]*flight
+	stats    CacheStats
+}
+
+type cacheEntry struct {
+	key string
+	val any
+}
+
+func newResultCache(capacity int) *resultCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &resultCache{
+		cap:      capacity,
+		entries:  make(map[string]*list.Element),
+		lru:      list.New(),
+		inflight: make(map[string]*flight),
+	}
+}
+
+// Do returns the cached value for key, or computes it exactly once even
+// under concurrent identical requests. The bool reports whether the
+// value came from the cache (true for both stored hits and results
+// shared with an in-flight leader).
+func (c *resultCache) Do(key string, compute func() (any, error)) (any, bool, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		c.stats.Hits++
+		v := el.Value.(*cacheEntry).val
+		c.mu.Unlock()
+		return v, true, nil
+	}
+	if fl, ok := c.inflight[key]; ok {
+		c.stats.Shared++
+		c.mu.Unlock()
+		<-fl.done
+		return fl.val, true, fl.err
+	}
+	fl := &flight{done: make(chan struct{})}
+	c.inflight[key] = fl
+	c.stats.Misses++
+	c.mu.Unlock()
+
+	// The deferred cleanup must run even if compute panics: otherwise the
+	// flight stays in the inflight map with done never closed, and every
+	// later request for the key blocks forever. The panic itself still
+	// propagates to the leader (net/http recovers it per-connection);
+	// waiters get an error instead of a hang.
+	returned := false
+	defer func() {
+		if !returned {
+			fl.val, fl.err = nil, errComputePanicked
+		}
+		c.mu.Lock()
+		delete(c.inflight, key)
+		if fl.err == nil {
+			c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, val: fl.val})
+			for len(c.entries) > c.cap {
+				oldest := c.lru.Back()
+				c.lru.Remove(oldest)
+				delete(c.entries, oldest.Value.(*cacheEntry).key)
+				c.stats.Evictions++
+			}
+		}
+		c.mu.Unlock()
+		close(fl.done)
+	}()
+	fl.val, fl.err = compute()
+	returned = true
+	return fl.val, false, fl.err
+}
+
+// errComputePanicked is what waiters of a panicked leader observe.
+var errComputePanicked = errors.New("service: in-flight compute panicked")
+
+// InvalidatePrefix drops every cached entry whose key starts with the
+// prefix — used when a matrix is deleted, since every key embeds the
+// matrix ID first.
+func (c *resultCache) InvalidatePrefix(prefix string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dropped := 0
+	for el := c.lru.Front(); el != nil; {
+		next := el.Next()
+		if ent := el.Value.(*cacheEntry); strings.HasPrefix(ent.key, prefix) {
+			c.lru.Remove(el)
+			delete(c.entries, ent.key)
+			dropped++
+		}
+		el = next
+	}
+	return dropped
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *resultCache) Stats() CacheStats {
+	c.mu.Lock()
+	s := c.stats
+	s.Entries = len(c.entries)
+	c.mu.Unlock()
+	return s
+}

@@ -1,0 +1,167 @@
+package service
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestCacheSingleflightComputesOnce: N concurrent identical requests
+// must run the compute function exactly once — the waiters attach to the
+// leader's in-flight computation and share its value. The compute blocks
+// until every other caller is verifiably waiting, so the test exercises
+// true concurrency, not sequential cache hits.
+func TestCacheSingleflightComputesOnce(t *testing.T) {
+	const callers = 8
+	c := newResultCache(8)
+	var computes atomic.Int32
+	release := make(chan struct{})
+
+	var wg sync.WaitGroup
+	values := make([]any, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, _, err := c.Do("key", func() (any, error) {
+				computes.Add(1)
+				<-release
+				return "swept", nil
+			})
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+			}
+			values[i] = v
+		}(i)
+	}
+
+	// Wait until the other callers are attached to the in-flight leader.
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Stats().Shared < callers-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d callers attached to the flight", c.Stats().Shared, callers-1)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("compute ran %d times, want exactly 1", n)
+	}
+	for i, v := range values {
+		if v != "swept" {
+			t.Fatalf("caller %d got %v", i, v)
+		}
+	}
+	s := c.Stats()
+	if s.Misses != 1 || s.Shared != callers-1 {
+		t.Fatalf("stats = %+v, want 1 miss and %d shared", s, callers-1)
+	}
+
+	// A later identical request is a plain cache hit.
+	if _, cached, _ := c.Do("key", func() (any, error) { t.Fatal("recompute"); return nil, nil }); !cached {
+		t.Fatal("warm request missed the cache")
+	}
+}
+
+// TestCacheErrorsNotCached: a failed compute reaches every waiter but
+// does not poison the key.
+func TestCacheErrorsNotCached(t *testing.T) {
+	c := newResultCache(8)
+	boom := errors.New("boom")
+	if _, _, err := c.Do("k", func() (any, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	v, cached, err := c.Do("k", func() (any, error) { return 42, nil })
+	if err != nil || cached || v != 42 {
+		t.Fatalf("retry after error: v=%v cached=%v err=%v", v, cached, err)
+	}
+}
+
+// TestCacheLRUEviction: capacity drops the least recently used key.
+func TestCacheLRUEviction(t *testing.T) {
+	c := newResultCache(2)
+	put := func(k string) {
+		if _, _, err := c.Do(k, func() (any, error) { return k, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put("a")
+	put("b")
+	put("a") // refresh a; b is now coldest
+	put("c") // evicts b
+	if _, cached, _ := c.Do("a", func() (any, error) { return "a2", nil }); !cached {
+		t.Fatal("refreshed key evicted")
+	}
+	if s := c.Stats(); s.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", s.Evictions)
+	}
+	// The probe below re-inserts "b", evicting once more.
+	if _, cached, _ := c.Do("b", func() (any, error) { return "b2", nil }); cached {
+		t.Fatal("coldest key survived eviction")
+	}
+}
+
+// TestCachePanickedComputeDoesNotPoisonKey: a panicking compute must
+// release the in-flight slot (waiters get an error, later requests
+// recompute) instead of hanging every future request on the key.
+func TestCachePanickedComputeDoesNotPoisonKey(t *testing.T) {
+	c := newResultCache(8)
+	release := make(chan struct{})
+	waited := make(chan error, 1)
+
+	go func() {
+		defer func() { recover() }() // stand-in for net/http's handler recovery
+		c.Do("k", func() (any, error) {
+			<-release
+			panic("engine bug")
+		})
+	}()
+	for c.Stats().Misses == 0 { // leader holds the in-flight slot
+		time.Sleep(time.Millisecond)
+	}
+	go func() {
+		_, _, err := c.Do("k", func() (any, error) { return nil, nil })
+		waited <- err
+	}()
+	for c.Stats().Shared == 0 { // waiter attached before the panic
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+
+	select {
+	case err := <-waited:
+		if err == nil {
+			t.Fatal("waiter of a panicked leader got no error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter hung on a panicked leader")
+	}
+	// The key must be recomputable afterwards.
+	v, cached, err := c.Do("k", func() (any, error) { return "recovered", nil })
+	if err != nil || cached || v != "recovered" {
+		t.Fatalf("key poisoned after panic: v=%v cached=%v err=%v", v, cached, err)
+	}
+}
+
+// TestCacheInvalidatePrefix drops exactly the matching keys.
+func TestCacheInvalidatePrefix(t *testing.T) {
+	c := newResultCache(8)
+	for _, k := range []string{"m1|a", "m1|b", "m2|a"} {
+		if _, _, err := c.Do(k, func() (any, error) { return k, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := c.InvalidatePrefix("m1|"); n != 2 {
+		t.Fatalf("invalidated %d entries, want 2", n)
+	}
+	if _, cached, _ := c.Do("m2|a", func() (any, error) { return nil, nil }); !cached {
+		t.Fatal("unrelated key invalidated")
+	}
+	if _, cached, _ := c.Do("m1|a", func() (any, error) { return nil, nil }); cached {
+		t.Fatal("invalidated key still cached")
+	}
+}

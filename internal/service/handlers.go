@@ -1,0 +1,476 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"copernicus/internal/core"
+	"copernicus/internal/formats"
+	"copernicus/internal/mtx"
+)
+
+// Request-shape bounds: a sweep request fans out |formats| × |partitions|
+// characterizations, so both lists are capped, and partition sizes are
+// bounded because a p×p dense tile is allocated per partition.
+const (
+	maxRequestFormats    = 16
+	maxRequestPartitions = 8
+	maxPartitionSize     = 1024
+)
+
+// resultJSON is the wire form of one characterization point.
+type resultJSON struct {
+	Workload          string  `json:"workload"`
+	Format            string  `json:"format"`
+	P                 int     `json:"p"`
+	Sigma             float64 `json:"sigma"`
+	BalanceRatio      float64 `json:"balance_ratio"`
+	MeanMemCycles     float64 `json:"mean_mem_cycles"`
+	MeanComputeCycles float64 `json:"mean_compute_cycles"`
+	Seconds           float64 `json:"seconds"`
+	ThroughputBps     float64 `json:"throughput_bps"`
+	BandwidthUtil     float64 `json:"bandwidth_util"`
+	DotEngineUtil     float64 `json:"dot_engine_util"`
+	InnerPipelineUtil float64 `json:"inner_pipeline_util"`
+	NonZeroTiles      int     `json:"nonzero_tiles"`
+	TotalTiles        int     `json:"total_tiles"`
+	TotalBytes        int     `json:"total_bytes"`
+	DynamicEnergyJ    float64 `json:"dynamic_energy_j"`
+	StaticEnergyJ     float64 `json:"static_energy_j"`
+	DynamicW          float64 `json:"dynamic_w"`
+	StaticW           float64 `json:"static_w"`
+	BRAM18K           int     `json:"bram_18k"`
+	FF                int     `json:"ff"`
+	LUT               int     `json:"lut"`
+}
+
+func toResultJSON(r core.Result) resultJSON {
+	return resultJSON{
+		Workload:          r.Workload,
+		Format:            r.Format.String(),
+		P:                 r.P,
+		Sigma:             r.Sigma,
+		BalanceRatio:      r.BalanceRatio,
+		MeanMemCycles:     r.MeanMemCycles,
+		MeanComputeCycles: r.MeanComputeCycles,
+		Seconds:           r.Seconds,
+		ThroughputBps:     r.ThroughputBps,
+		BandwidthUtil:     r.BandwidthUtil,
+		DotEngineUtil:     r.DotEngineUtil,
+		InnerPipelineUtil: r.InnerPipelineUtil,
+		NonZeroTiles:      r.NonZeroTiles,
+		TotalTiles:        r.TotalTiles,
+		TotalBytes:        r.TotalBytes,
+		DynamicEnergyJ:    r.DynamicEnergyJ,
+		StaticEnergyJ:     r.StaticEnergyJ,
+		DynamicW:          r.Synth.DynamicW,
+		StaticW:           r.Synth.StaticW,
+		BRAM18K:           r.Synth.BRAM18K,
+		FF:                r.Synth.FF,
+		LUT:               r.Synth.LUT,
+	}
+}
+
+func toResultsJSON(rs []core.Result) []resultJSON {
+	out := make([]resultJSON, len(rs))
+	for i, r := range rs {
+		out[i] = toResultJSON(r)
+	}
+	return out
+}
+
+// writeJSON emits a JSON response body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeErr emits the service's uniform error shape.
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// parseKinds resolves format names case-insensitively, rejecting
+// duplicates; empty defaults to the paper's measured core set.
+func parseKinds(names []string) ([]formats.Kind, error) {
+	if len(names) == 0 {
+		return formats.Core(), nil
+	}
+	if len(names) > maxRequestFormats {
+		return nil, fmt.Errorf("at most %d formats per request, got %d", maxRequestFormats, len(names))
+	}
+	out := make([]formats.Kind, 0, len(names))
+	for _, name := range names {
+		found := false
+		for _, k := range formats.All() {
+			if strings.EqualFold(k.String(), name) {
+				for _, prior := range out {
+					if prior == k {
+						return nil, fmt.Errorf("duplicate format %q", name)
+					}
+				}
+				out = append(out, k)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown format %q", name)
+		}
+	}
+	return out, nil
+}
+
+// parsePartitions validates partition sizes, rejecting duplicates; empty
+// defaults to the paper's {8, 16, 32} sweep.
+func parsePartitions(ps []int) ([]int, error) {
+	if len(ps) == 0 {
+		return []int{8, 16, 32}, nil
+	}
+	if len(ps) > maxRequestPartitions {
+		return nil, fmt.Errorf("at most %d partition sizes per request, got %d", maxRequestPartitions, len(ps))
+	}
+	for i, p := range ps {
+		if p < 1 || p > maxPartitionSize {
+			return nil, fmt.Errorf("partition size %d outside [1, %d]", p, maxPartitionSize)
+		}
+		for _, prior := range ps[:i] {
+			if prior == p {
+				return nil, fmt.Errorf("duplicate partition size %d", p)
+			}
+		}
+	}
+	return ps, nil
+}
+
+// sweepKey names one cached sweep: the matrix ID leads (so deletion can
+// invalidate by prefix), then the format and partition lists in request
+// order. Order is part of the key because the stored results mirror it —
+// [CSR,ELL] and [ELL,CSR] cache separately; the engine plan cache below
+// still makes the reordered request skip partition+encode.
+func sweepKey(matrixID string, kinds []formats.Kind, ps []int) string {
+	var sb strings.Builder
+	sb.WriteString(matrixID)
+	sb.WriteString("|f=")
+	for i, k := range kinds {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(k.String())
+	}
+	sb.WriteString("|p=")
+	for i, p := range ps {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.Itoa(p))
+	}
+	return sb.String()
+}
+
+// errMatrixDeleted marks a sweep that lost a race with DELETE — a
+// client-attributable 404, not a server fault.
+var errMatrixDeleted = errors.New("matrix deleted")
+
+// runSweep computes (or returns cached) results for one matrix across
+// kinds × ps, singleflight-deduplicated on the canonical key.
+func (s *Server) runSweep(info MatrixInfo, kinds []formats.Kind, ps []int) ([]core.Result, bool, error) {
+	_, m, ok := s.reg.Lookup(info.ID)
+	if !ok {
+		return nil, false, fmt.Errorf("matrix %q: %w", info.ID, errMatrixDeleted)
+	}
+	v, cached, err := s.cache.Do(sweepKey(info.ID, kinds, ps), func() (any, error) {
+		out := make([]core.Result, 0, len(kinds)*len(ps))
+		for _, p := range ps {
+			rs, err := s.engine.SweepFormats(info.ID, m, p, kinds)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, rs...)
+		}
+		// A DELETE may have raced this sweep: its DropPlansFor ran before
+		// SweepFormats re-inserted the plans. Re-check registration so a
+		// deleted matrix is not re-pinned by the engine or cached under a
+		// dead ID (errors are never cached).
+		if _, _, still := s.reg.Lookup(info.ID); !still {
+			s.engine.DropPlansFor(m)
+			return nil, fmt.Errorf("matrix %q: %w", info.ID, errMatrixDeleted)
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	// Close the remaining delete window: a DELETE landing between the
+	// closure's re-check and the cache insert has already run its
+	// invalidation, so the entry (and the plans the sweep re-inserted)
+	// would outlive the matrix. Re-checking after the insert means
+	// either the delete's invalidation ran after the insert and cleaned
+	// it, or this check sees the deletion and cleans up itself.
+	if _, _, still := s.reg.Lookup(info.ID); !still {
+		s.cache.InvalidatePrefix(info.ID + "|")
+		s.engine.DropPlansFor(m)
+		return nil, false, fmt.Errorf("matrix %q: %w", info.ID, errMatrixDeleted)
+	}
+	return v.([]core.Result), cached, nil
+}
+
+// sweepStatus maps a runSweep error to its HTTP status: losing a race
+// with DELETE is the client's 404, not a server fault.
+func sweepStatus(err error) int {
+	if errors.Is(err, errMatrixDeleted) {
+		return http.StatusNotFound
+	}
+	return http.StatusInternalServerError
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "uptime_s": time.Since(s.start).Seconds()})
+}
+
+func (s *Server) handleListMatrices(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"matrices": s.reg.List()})
+}
+
+func (s *Server) handleGetMatrix(w http.ResponseWriter, r *http.Request) {
+	info, _, ok := s.reg.Lookup(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown matrix %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// handleUploadMatrix ingests a Matrix Market body. The body size, the
+// declared dimensions, and the declared entry count are all bounded
+// before per-entry parsing; the parsed matrix is content-hash addressed,
+// so re-uploading identical content returns the existing entry (200)
+// instead of creating a new one (201).
+func (s *Server) handleUploadMatrix(w http.ResponseWriter, r *http.Request) {
+	// One sentinel byte past the cap distinguishes "file too large" from
+	// "file malformed": a truncation that lands mid-line would otherwise
+	// surface as a parse error on the partial line and mask the real
+	// cause with a misleading 400.
+	body := &io.LimitedReader{R: r.Body, N: s.opts.MaxUploadBytes + 1}
+	m, err := mtx.ReadLimited(body, mtx.Limits{
+		MaxRows:    s.opts.MaxMatrixDim,
+		MaxCols:    s.opts.MaxMatrixDim,
+		MaxEntries: s.opts.MaxMatrixEntries,
+	})
+	// The limit is uniform: an over-cap body is 413 whether the parser
+	// happened to fail (truncation mid-line) or happened to succeed (a
+	// complete matrix followed by truncated padding).
+	if body.N <= 0 {
+		writeErr(w, http.StatusRequestEntityTooLarge, "upload exceeds %d bytes", s.opts.MaxUploadBytes)
+		return
+	}
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "parse upload: %v", err)
+		return
+	}
+	info, existed := s.reg.AddUpload(r.URL.Query().Get("name"), m)
+	status := http.StatusCreated
+	if existed {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, map[string]any{"matrix": info, "deduplicated": existed})
+}
+
+// handleDeleteMatrix removes a matrix by ID and ends its plan lifecycle:
+// the engine's cached plans for it are dropped and its cached sweeps
+// invalidated. Built-in suite matrices cannot be deleted.
+func (s *Server) handleDeleteMatrix(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	info, _, ok := s.reg.Lookup(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown matrix %q", id)
+		return
+	}
+	if info.Source == "builtin" {
+		writeErr(w, http.StatusForbidden, "built-in matrix %q cannot be deleted", info.ID)
+		return
+	}
+	_, m, ok := s.reg.Remove(info.ID)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown matrix %q", id)
+		return
+	}
+	s.engine.DropPlansFor(m)
+	s.cache.InvalidatePrefix(info.ID + "|")
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// sweepRequest is the POST /v1/sweep body.
+type sweepRequest struct {
+	Matrix     string   `json:"matrix"`
+	Formats    []string `json:"formats,omitempty"`
+	Partitions []int    `json:"partitions,omitempty"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req sweepRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "parse request: %v", err)
+		return
+	}
+	if req.Matrix == "" {
+		writeErr(w, http.StatusBadRequest, "missing \"matrix\"")
+		return
+	}
+	info, _, ok := s.reg.Lookup(req.Matrix)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown matrix %q", req.Matrix)
+		return
+	}
+	kinds, err := parseKinds(req.Formats)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ps, err := parsePartitions(req.Partitions)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	rs, cached, err := s.runSweep(info, kinds, ps)
+	if err != nil {
+		writeErr(w, sweepStatus(err), "sweep: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"matrix":  info,
+		"cached":  cached,
+		"results": toResultsJSON(rs),
+	})
+}
+
+// handleCharacterize runs one (matrix, format, p) point:
+// GET /v1/characterize?matrix=ID&format=CSR&p=16.
+func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	info, _, ok := s.reg.Lookup(q.Get("matrix"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown matrix %q", q.Get("matrix"))
+		return
+	}
+	name := q.Get("format")
+	if name == "" {
+		name = "CSR"
+	}
+	kinds, err := parseKinds([]string{name})
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	p, err := queryInt(q.Get("p"), 16)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad p: %v", err)
+		return
+	}
+	ps, err := parsePartitions([]int{p})
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	rs, cached, err := s.runSweep(info, kinds, ps)
+	if err != nil {
+		writeErr(w, sweepStatus(err), "characterize: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"matrix": info,
+		"cached": cached,
+		"result": toResultJSON(rs[0]),
+	})
+}
+
+// handleAdvise recommends the best format for a (matrix, p) point:
+// GET /v1/advise?matrix=ID&p=16&objective=balanced|latency. The sweep
+// behind it flows through the same cache as /v1/sweep — a prior sweep of
+// the sparse formats at the same p makes the advice free, and concurrent
+// advise calls share one engine run.
+func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	info, m, ok := s.reg.Lookup(q.Get("matrix"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown matrix %q", q.Get("matrix"))
+		return
+	}
+	p, err := queryInt(q.Get("p"), 16)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad p: %v", err)
+		return
+	}
+	ps, err := parsePartitions([]int{p})
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var obj core.Objective
+	switch name := q.Get("objective"); name {
+	case "", "balanced":
+		obj = core.BalancedObjective()
+	case "latency":
+		obj = core.LatencyObjective()
+	default:
+		writeErr(w, http.StatusBadRequest, "unknown objective %q (want balanced or latency)", name)
+		return
+	}
+
+	rs, cached, err := s.runSweep(info, formats.Sparse(), ps)
+	if err != nil {
+		writeErr(w, sweepStatus(err), "advise: %v", err)
+		return
+	}
+	rec, err := core.Rank(rs, obj)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "advise: %v", err)
+		return
+	}
+	ranking := make([]string, len(rec.Ranking))
+	for i, k := range rec.Ranking {
+		ranking[i] = k.String()
+	}
+	class := core.Classify(m)
+	static, _, why := core.StaticAdvice(class)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"matrix":        info,
+		"p":             p,
+		"cached":        cached,
+		"format":        rec.Format.String(),
+		"reason":        rec.Reason,
+		"ranking":       ranking,
+		"results":       toResultsJSON(rec.Results),
+		"class":         class.String(),
+		"static_advice": map[string]string{"format": static.String(), "rationale": why},
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"uptime_s":     time.Since(s.start).Seconds(),
+		"matrices":     s.reg.Len(),
+		"workers":      s.engine.Workers(),
+		"engine_plans": s.engine.PlanStats(),
+		"sweep_cache":  s.cache.Stats(),
+	})
+}
+
+// queryInt parses an optional integer query parameter.
+func queryInt(raw string, def int) (int, error) {
+	if raw == "" {
+		return def, nil
+	}
+	return strconv.Atoi(raw)
+}

@@ -1,0 +1,111 @@
+package service
+
+import (
+	"net/http"
+	"time"
+
+	"copernicus/internal/core"
+	"copernicus/internal/workloads"
+)
+
+// Options configures a Server. Zero values take the documented defaults.
+type Options struct {
+	// Engine is the characterization engine to serve; nil builds one
+	// with the calibrated default hardware model. The engine's plan
+	// cache is what makes a warm repeated request amortized — the server
+	// never drops it except when a matrix is deleted.
+	Engine *core.Engine
+	// Scale sizes the pre-registered built-in suites (default 256).
+	Scale int
+	// CacheEntries bounds the sweep-result LRU cache (default 256).
+	CacheEntries int
+	// MaxUploadBytes bounds an upload request body (default 32 MiB).
+	MaxUploadBytes int64
+	// MaxMatrixDim and MaxMatrixEntries bound an uploaded matrix's
+	// declared shape (defaults 1<<20 and 1<<24); the size line is
+	// checked before any entry is parsed.
+	MaxMatrixDim     int
+	MaxMatrixEntries int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Engine == nil {
+		o.Engine = core.New()
+	}
+	if o.Scale <= 0 {
+		o.Scale = 256
+	}
+	if o.CacheEntries <= 0 {
+		o.CacheEntries = 256
+	}
+	if o.MaxUploadBytes <= 0 {
+		o.MaxUploadBytes = 32 << 20
+	}
+	if o.MaxMatrixDim <= 0 {
+		o.MaxMatrixDim = 1 << 20
+	}
+	if o.MaxMatrixEntries <= 0 {
+		o.MaxMatrixEntries = 1 << 24
+	}
+	return o
+}
+
+// Server is the long-running characterization service: registry, cached
+// sweep API, and advisor, sharing one warm engine. Safe for concurrent
+// use; construct with New and mount Handler on an http.Server.
+type Server struct {
+	opts   Options
+	engine *core.Engine
+	reg    *Registry
+	cache  *resultCache
+	mux    *http.ServeMux
+	start  time.Time
+}
+
+// New builds a server and pre-registers the built-in workload suites
+// (SuiteSparse surrogates by their Table 1 two-letter IDs, the random
+// suite as R<density>, the band suite as B<width>).
+func New(o Options) *Server {
+	o = o.withDefaults()
+	s := &Server{
+		opts:   o,
+		engine: o.Engine,
+		reg:    NewRegistry(),
+		cache:  newResultCache(o.CacheEntries),
+		mux:    http.NewServeMux(),
+		start:  time.Now(),
+	}
+	c := workloads.Config{Scale: o.Scale, RandomDim: o.Scale, BandDim: o.Scale}
+	for _, w := range workloads.SuiteSparse(c) {
+		s.reg.AddBuiltin(w.ID, w.Name, w.Kind, w.M)
+	}
+	for _, w := range workloads.RandomSuite(c) {
+		s.reg.AddBuiltin(w.ID, w.Name, w.Kind, w.M)
+	}
+	for _, w := range workloads.BandSuite(c) {
+		s.reg.AddBuiltin(w.ID, w.Name, w.Kind, w.M)
+	}
+	s.routes()
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Engine returns the shared characterization engine.
+func (s *Server) Engine() *core.Engine { return s.engine }
+
+// Registry returns the matrix registry.
+func (s *Server) Registry() *Registry { return s.reg }
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/matrices", s.handleListMatrices)
+	s.mux.HandleFunc("POST /v1/matrices", s.handleUploadMatrix)
+	s.mux.HandleFunc("GET /v1/matrices/{id}", s.handleGetMatrix)
+	s.mux.HandleFunc("DELETE /v1/matrices/{id}", s.handleDeleteMatrix)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("GET /v1/characterize", s.handleCharacterize)
+	s.mux.HandleFunc("GET /v1/advise", s.handleAdvise)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+}
