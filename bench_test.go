@@ -451,3 +451,52 @@ func BenchmarkGeomeanSigma(b *testing.B) {
 		b.ReportMetric(v, "gm_"+t.Header[c])
 	}
 }
+
+// BenchmarkLargeSparseColdPlan measures the cold partition→encode path on
+// a large, very sparse matrix across partition sizes — the regime where
+// the sparse-native tiles pay off: cost scales with nnz, not with
+// tiles·p². Each iteration builds a fresh plan and warms one format.
+func BenchmarkLargeSparseColdPlan(b *testing.B) {
+	m := copernicus.Random(4096, 0.001, 77)
+	x := make([]float64, m.Cols)
+	for _, p := range []int{64, 128, 256} {
+		b.Run("p"+strconv.Itoa(p), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				pl, err := copernicus.NewStreamPlan(m, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := pl.Run(copernicus.CSR, x); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPlanWarmRunInto measures the steady-state SpMV on a warm plan
+// through the allocation-free RunInto path (0 allocs/op by design; the
+// assertion lives in internal/hlsim's AllocsPerRun test).
+func BenchmarkPlanWarmRunInto(b *testing.B) {
+	m := copernicus.Random(1024, 0.01, 31)
+	x := make([]float64, m.Cols)
+	for i := range x {
+		x[i] = 1
+	}
+	pl, err := copernicus.NewStreamPlan(m, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var r copernicus.StreamResult
+	if err := pl.RunInto(copernicus.CSR, x, &r); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := pl.RunInto(copernicus.CSR, x, &r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -148,11 +148,39 @@ func usage() {
 }
 
 // benchResult is one timed benchmark in the BENCH_sweep.json record.
+// AllocsPerOp/BytesPerOp track the allocation trajectory of each hot
+// path alongside its latency (heap deltas via runtime.ReadMemStats).
 type benchResult struct {
-	Name       string  `json:"name"`
-	Iterations int     `json:"iterations"`
-	NsPerOp    float64 `json:"ns_per_op"`
-	Points     int     `json:"points,omitempty"`
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	Points      int     `json:"points,omitempty"`
+}
+
+// measure times fn over iters iterations, recording wall time and heap
+// allocation deltas per op.
+func measure(name string, iters, points int, fn func() error) (benchResult, error) {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := fn(); err != nil {
+			return benchResult{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return benchResult{
+		Name:        name,
+		Iterations:  iters,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(iters),
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(iters),
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(iters),
+		Points:      points,
+	}, nil
 }
 
 // benchRecord is the perf-trajectory artifact emitted by `bench -json`.
@@ -173,6 +201,9 @@ func benchCmd(scale, iters int, jsonOut bool, out string) error {
 	if iters < 1 {
 		iters = 1
 	}
+	if scale < 16 {
+		return fmt.Errorf("bench: -scale must be >= 16 (got %d)", scale)
+	}
 	// Sweep benchmark: SuiteSparse suite × core formats × all partition
 	// sizes on a long-lived engine (plan reuse reflects steady state).
 	e := copernicus.NewEngine()
@@ -188,18 +219,14 @@ func benchCmd(scale, iters int, jsonOut bool, out string) error {
 	if _, err := e.Sweep(ws, copernicus.CoreFormats(), copernicus.PartitionSizes()); err != nil {
 		return err
 	}
-	start := time.Now()
-	for i := 0; i < iters; i++ {
-		if _, err := e.Sweep(ws, copernicus.CoreFormats(), copernicus.PartitionSizes()); err != nil {
-			return err
-		}
-	}
-	rec.Benchmarks = append(rec.Benchmarks, benchResult{
-		Name:       "sweep_suitesparse_core_formats",
-		Iterations: iters,
-		NsPerOp:    float64(time.Since(start).Nanoseconds()) / float64(iters),
-		Points:     points,
+	res, err := measure("sweep_suitesparse_core_formats", iters, points, func() error {
+		_, err := e.Sweep(ws, copernicus.CoreFormats(), copernicus.PartitionSizes())
+		return err
 	})
+	if err != nil {
+		return err
+	}
+	rec.Benchmarks = append(rec.Benchmarks, res)
 
 	// Iterative-kernel benchmark: 60 CG iterations through the
 	// accelerator backend (plan built once per op, reused per iteration).
@@ -208,24 +235,61 @@ func benchCmd(scale, iters int, jsonOut bool, out string) error {
 	for i := range rhs {
 		rhs[i] = 1
 	}
-	start = time.Now()
-	for i := 0; i < iters; i++ {
+	res, err = measure("cg_accelerator_csr_p16_60iter", iters, 0, func() error {
 		mul, _, err := copernicus.AcceleratorBackend(m, copernicus.CSR, 16)
 		if err != nil {
 			return err
 		}
-		if _, _, err := copernicus.SolveCG(mul, rhs, 0, 60); err != nil {
+		_, _, err = copernicus.SolveCG(mul, rhs, 0, 60)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	rec.Benchmarks = append(rec.Benchmarks, res)
+
+	// Large-sparse cold-plan benchmark: a big, very sparse matrix at
+	// several partition sizes. Cold partition→encode cost now scales with
+	// nnz, not tiles·p² — this entry makes the O(p²)→O(nnz) trajectory
+	// visible in the per-commit BENCH record.
+	big := copernicus.Random(16*scale, 0.001, 77)
+	x := make([]float64, big.Cols)
+	for _, p := range []int{scale / 4, scale} {
+		res, err = measure(fmt.Sprintf("cold_plan_large_sparse_p%d", p), iters, 0, func() error {
+			pl, err := copernicus.NewStreamPlan(big, p)
+			if err != nil {
+				return err
+			}
+			_, err = pl.Run(copernicus.CSR, x)
+			return err
+		})
+		if err != nil {
 			return err
 		}
+		rec.Benchmarks = append(rec.Benchmarks, res)
 	}
-	rec.Benchmarks = append(rec.Benchmarks, benchResult{
-		Name:       "cg_accelerator_csr_p16_60iter",
-		Iterations: iters,
-		NsPerOp:    float64(time.Since(start).Nanoseconds()) / float64(iters),
+
+	// Warm-path benchmark: steady-state SpMV on a warm plan through the
+	// allocation-free RunInto path (allocs_per_op must stay 0).
+	warm, err := copernicus.NewStreamPlan(big, scale/4)
+	if err != nil {
+		return err
+	}
+	var sr copernicus.StreamResult
+	if err := warm.RunInto(copernicus.CSR, x, &sr); err != nil {
+		return err
+	}
+	res, err = measure("warm_plan_runinto_csr", iters*100, 0, func() error {
+		return warm.RunInto(copernicus.CSR, x, &sr)
 	})
+	if err != nil {
+		return err
+	}
+	rec.Benchmarks = append(rec.Benchmarks, res)
 
 	for _, b := range rec.Benchmarks {
-		fmt.Printf("%-34s %8d iters  %12.0f ns/op\n", b.Name, b.Iterations, b.NsPerOp)
+		fmt.Printf("%-34s %8d iters  %12.0f ns/op %10.0f allocs/op %14.0f B/op\n",
+			b.Name, b.Iterations, b.NsPerOp, b.AllocsPerOp, b.BytesPerOp)
 	}
 	if !jsonOut {
 		return nil

@@ -204,8 +204,15 @@ func SpMV(m *Matrix, x []float64, f Format, p int) ([]float64, error) {
 // once at one partition size, each format is encoded and decode-verified
 // once on first use, and every subsequent modelled SpMV on the plan pays
 // only the per-iteration dot work. Its Run, RunParallel, RunSpMM, Trace,
-// and Schedule methods mirror the package-level one-shot helpers.
+// and Schedule methods mirror the package-level one-shot helpers; RunInto
+// is the allocation-free warm path (reuse one StreamResult across calls),
+// and SetWorkers enables tile-parallel warmup with bit-identical results.
 type StreamPlan = hlsim.Plan
+
+// StreamResult is one modelled SpMV run: the functional output vector
+// plus the aggregated cycle totals. Hold one and call StreamPlan.RunInto
+// to stream multiplications without allocating.
+type StreamResult = hlsim.Result
 
 // NewStreamPlan builds a streaming plan for m at partition size p on the
 // default hardware model.

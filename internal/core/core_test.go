@@ -8,6 +8,7 @@ import (
 	"copernicus/internal/formats"
 	"copernicus/internal/gen"
 	"copernicus/internal/hlsim"
+	"copernicus/internal/matrix"
 	"copernicus/internal/workloads"
 )
 
@@ -301,5 +302,33 @@ func TestLogDistToOne(t *testing.T) {
 	}
 	if logDistToOne(-1) < 1e8 {
 		t.Fatal("non-positive balance not penalized")
+	}
+}
+
+// TestPlanStatsResidentBytes: the plan cache reports its resident
+// footprint — non-zero once plans are cached, shrinking when a matrix's
+// plans are dropped, zero when the cache is emptied. Sparse-native tiles
+// keep the footprint O(nnz): a cached plan must cost far less than the
+// dense-tile regime's tiles·p² floats.
+func TestPlanStatsResidentBytes(t *testing.T) {
+	e := New()
+	m := gen.Random(256, 0.02, 5)
+	if _, err := e.Characterize("m", m, formats.CSR, 16); err != nil {
+		t.Fatal(err)
+	}
+	s := e.PlanStats()
+	if s.ResidentBytes <= 0 {
+		t.Fatalf("resident bytes = %d, want > 0", s.ResidentBytes)
+	}
+	// Dense p² tiles would cost NonZeroTiles·16²·8 bytes in values alone;
+	// the sparse plan must stay well under half of that.
+	pt := matrix.Partition(m, 16)
+	denseFloor := int64(len(pt.Tiles)) * 16 * 16 * 8
+	if s.ResidentBytes > denseFloor/2 {
+		t.Fatalf("resident bytes %d not sparse-scaled (dense-tile floor %d)", s.ResidentBytes, denseFloor)
+	}
+	e.DropPlansFor(m)
+	if got := e.PlanStats().ResidentBytes; got != 0 {
+		t.Fatalf("resident bytes after drop = %d, want 0", got)
 	}
 }

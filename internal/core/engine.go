@@ -85,6 +85,11 @@ type Engine struct {
 	plans map[planKey]*list.Element // value: *planEntry
 	lru   *list.List                // front = most recently used
 	stats PlanStats
+	// encPool is the single helper pool shared by every cached plan's
+	// tile-parallel warmup, so total encode goroutines stay bounded by
+	// the engine's worker count even when many sweep groups warm plans
+	// concurrently.
+	encPool *hlsim.EncodePool
 }
 
 // planKey identifies a cached streaming plan. Matrices are treated as
@@ -113,12 +118,16 @@ const maxCachedPlans = 128
 // PlanStats counts plan-cache traffic since the engine was created.
 // Hits are requests served by a cached plan (the amortized regime: no
 // re-partition, no re-encode); misses built a new plan; evictions are
-// LRU capacity drops, not explicit DropPlans calls.
+// LRU capacity drops, not explicit DropPlans calls. ResidentBytes is the
+// total resident footprint of every cached plan — sparse tile spans,
+// functional arrays, and per-format cycle tables — which scales with
+// nnz, not with tiles·p², now that tiles are CSR-native.
 type PlanStats struct {
-	Hits      uint64 `json:"hits"`
-	Misses    uint64 `json:"misses"`
-	Evictions uint64 `json:"evictions"`
-	Cached    int    `json:"cached"`
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	Evictions     uint64 `json:"evictions"`
+	Cached        int    `json:"cached"`
+	ResidentBytes int64  `json:"resident_bytes"`
 }
 
 // New returns an engine with the calibrated default hardware model.
@@ -140,6 +149,7 @@ func NewWithConfig(cfg hlsim.Config) (*Engine, error) {
 		verifyTol: 1e-9,
 		plans:     make(map[planKey]*list.Element),
 		lru:       list.New(),
+		encPool:   hlsim.NewEncodePool(runtime.GOMAXPROCS(0) - 1),
 	}, nil
 }
 
@@ -153,8 +163,17 @@ func (e *Engine) SetWorkers(n int) {
 	if n < 0 {
 		n = 0
 	}
+	eff := n
+	if eff == 0 {
+		eff = runtime.GOMAXPROCS(0)
+	}
 	e.mu.Lock()
 	e.workers = n
+	// Re-share a pool of the new size with every cached plan.
+	e.encPool = hlsim.NewEncodePool(eff - 1)
+	for el := e.lru.Front(); el != nil; el = el.Next() {
+		el.Value.(*planEntry).pl.SetEncodePool(e.encPool)
+	}
 	e.mu.Unlock()
 }
 
@@ -197,11 +216,15 @@ func (e *Engine) DropPlansFor(m *matrix.CSR) {
 	e.mu.Unlock()
 }
 
-// PlanStats returns a snapshot of the plan-cache counters.
+// PlanStats returns a snapshot of the plan-cache counters, including the
+// total resident bytes of every cached plan.
 func (e *Engine) PlanStats() PlanStats {
 	e.mu.Lock()
 	s := e.stats
 	s.Cached = len(e.plans)
+	for el := e.lru.Front(); el != nil; el = el.Next() {
+		s.ResidentBytes += el.Value.(*planEntry).pl.MemoryBytes()
+	}
 	e.mu.Unlock()
 	return s
 }
@@ -218,11 +241,17 @@ func (e *Engine) plan(m *matrix.CSR, p int) (*hlsim.Plan, error) {
 		e.mu.Unlock()
 		return pl, nil
 	}
+	pool := e.encPool
 	e.mu.Unlock()
 	pl, err := hlsim.NewPlan(e.cfg, m, p)
 	if err != nil {
 		return nil, err
 	}
+	// Warm this plan's formats on the engine's shared helper pool: tiles
+	// encode in parallel with deterministic, tile-ordered aggregation,
+	// and total encode goroutines across all concurrent sweep groups stay
+	// bounded by the engine's worker count.
+	pl.SetEncodePool(pool)
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.stats.Misses++

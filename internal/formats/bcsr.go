@@ -25,31 +25,39 @@ func encodeBCSR(t *matrix.Tile, b int) *BCSREnc {
 	}
 	nb := t.P / b
 	e := &BCSREnc{p: t.P, b: b, offsets: make([]int32, nb), nnz: t.NNZ(), nzr: t.NonZeroRows()}
+	s := getScratch()
+	blockNNZ := s.ints(nb)       // per block column of the current block row
+	stage := s.floats(nb * b * b) // staged b×b blocks, zeros included
 	running := int32(0)
 	for bi := 0; bi < nb; bi++ {
-		for bj := 0; bj < nb; bj++ {
-			nz := false
-			for i := 0; i < b && !nz; i++ {
-				for j := 0; j < b; j++ {
-					if t.At(bi*b+i, bj*b+j) != 0 {
-						nz = true
-						break
-					}
+		minBJ, maxBJ := nb, -1
+		for r := 0; r < b; r++ {
+			cols, vals := t.RowView(bi*b + r)
+			for k, j := range cols {
+				bj := int(j) / b
+				blockNNZ[bj]++
+				stage[bj*b*b+r*b+int(j)-bj*b] = vals[k]
+				if bj < minBJ {
+					minBJ = bj
+				}
+				if bj > maxBJ {
+					maxBJ = bj
 				}
 			}
-			if !nz {
+		}
+		for bj := minBJ; bj <= maxBJ; bj++ {
+			if blockNNZ[bj] == 0 {
 				continue
 			}
 			e.colIdx = append(e.colIdx, int32(bj*b))
-			for i := 0; i < b; i++ {
-				for j := 0; j < b; j++ {
-					e.vals = append(e.vals, t.At(bi*b+i, bj*b+j))
-				}
-			}
+			e.vals = append(e.vals, stage[bj*b*b:(bj+1)*b*b]...)
 			running++
+			blockNNZ[bj] = 0
+			clear(stage[bj*b*b : (bj+1)*b*b])
 		}
 		e.offsets[bi] = running
 	}
+	putScratch(s)
 	return e
 }
 

@@ -19,15 +19,17 @@ type COOEnc struct {
 const cooSentinel = int32(-1)
 
 func encodeCOO(t *matrix.Tile) *COOEnc {
-	e := &COOEnc{p: t.P, nzr: t.NonZeroRows()}
+	nnz := t.NNZ()
+	e := &COOEnc{p: t.P, nzr: t.NonZeroRows(),
+		rows: make([]int32, 0, nnz+1), cols: make([]int32, 0, nnz+1),
+		vals: make([]float64, 0, nnz+1)}
 	for i := 0; i < t.P; i++ {
-		for j := 0; j < t.P; j++ {
-			if v := t.At(i, j); v != 0 {
-				e.rows = append(e.rows, int32(i))
-				e.cols = append(e.cols, int32(j))
-				e.vals = append(e.vals, v)
-			}
+		cols, vals := t.RowView(i)
+		for range cols {
+			e.rows = append(e.rows, int32(i))
 		}
+		e.cols = append(e.cols, cols...)
+		e.vals = append(e.vals, vals...)
 	}
 	e.rows = append(e.rows, cooSentinel)
 	e.cols = append(e.cols, cooSentinel)

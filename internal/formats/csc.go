@@ -16,18 +16,34 @@ type CSCEnc struct {
 }
 
 func encodeCSC(t *matrix.Tile) *CSCEnc {
-	e := &CSCEnc{p: t.P, offsets: make([]int32, t.P), nzr: t.NonZeroRows()}
-	running := int32(0)
-	for j := 0; j < t.P; j++ {
-		for i := 0; i < t.P; i++ {
-			if v := t.At(i, j); v != 0 {
-				e.rowIdx = append(e.rowIdx, int32(i))
-				e.vals = append(e.vals, v)
-				running++
-			}
+	p, nnz := t.P, t.NNZ()
+	e := &CSCEnc{p: p, offsets: make([]int32, p), nzr: t.NonZeroRows(),
+		rowIdx: make([]int32, nnz), vals: make([]float64, nnz)}
+	s := getScratch()
+	cur := s.ints(p) // per-column counts, then scatter cursors
+	for i := 0; i < p; i++ {
+		cols, _ := t.RowView(i)
+		for _, j := range cols {
+			cur[j]++
 		}
+	}
+	running := int32(0)
+	for j := 0; j < p; j++ {
+		c := cur[j]
+		cur[j] = running
+		running += c
 		e.offsets[j] = running
 	}
+	// Scattering the row-major walk preserves ascending rows per column.
+	for i := 0; i < p; i++ {
+		cols, vals := t.RowView(i)
+		for k, j := range cols {
+			e.rowIdx[cur[j]] = int32(i)
+			e.vals[cur[j]] = vals[k]
+			cur[j]++
+		}
+	}
+	putScratch(s)
 	return e
 }
 

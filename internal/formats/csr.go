@@ -17,17 +17,14 @@ type CSREnc struct {
 }
 
 func encodeCSR(t *matrix.Tile) *CSREnc {
-	e := &CSREnc{p: t.P, offsets: make([]int32, t.P), nzr: t.NonZeroRows()}
-	running := int32(0)
+	nnz := t.NNZ()
+	e := &CSREnc{p: t.P, offsets: make([]int32, t.P), nzr: t.NonZeroRows(),
+		colIdx: make([]int32, 0, nnz), vals: make([]float64, 0, nnz)}
 	for i := 0; i < t.P; i++ {
-		for j := 0; j < t.P; j++ {
-			if v := t.At(i, j); v != 0 {
-				e.colIdx = append(e.colIdx, int32(j))
-				e.vals = append(e.vals, v)
-				running++
-			}
-		}
-		e.offsets[i] = running
+		cols, vals := t.RowView(i)
+		e.colIdx = append(e.colIdx, cols...)
+		e.vals = append(e.vals, vals...)
+		e.offsets[i] = int32(len(e.vals))
 	}
 	return e
 }

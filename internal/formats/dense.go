@@ -15,8 +15,8 @@ type DenseEnc struct {
 }
 
 func encodeDense(t *matrix.Tile) *DenseEnc {
-	e := &DenseEnc{p: t.P, val: make([]float64, len(t.Val)), nnz: t.NNZ(), nzr: t.NonZeroRows()}
-	copy(e.val, t.Val)
+	e := &DenseEnc{p: t.P, nnz: t.NNZ(), nzr: t.NonZeroRows()}
+	e.val = t.Dense()
 	return e
 }
 

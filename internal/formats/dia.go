@@ -20,28 +20,32 @@ type DIAEnc struct {
 }
 
 func encodeDIA(t *matrix.Tile) *DIAEnc {
-	e := &DIAEnc{p: t.P, nnz: t.NNZ(), nzr: t.NonZeroRows()}
-	for d := -(t.P - 1); d <= t.P-1; d++ {
-		nz := false
-		for i := 0; i < t.P; i++ {
-			j := i + d
-			if j >= 0 && j < t.P && t.At(i, j) != 0 {
-				nz = true
-				break
-			}
+	p := t.P
+	e := &DIAEnc{p: p, nnz: t.NNZ(), nzr: t.NonZeroRows()}
+	s := getScratch()
+	// Diagonal d = j-i is indexed at d+p-1 in [0, 2p-1).
+	count := s.ints(2*p - 1)
+	for i := 0; i < p; i++ {
+		cols, _ := t.RowView(i)
+		for _, j := range cols {
+			count[int(j)-i+p-1]++
 		}
-		if !nz {
-			continue
-		}
-		e.diagNo = append(e.diagNo, int32(d))
-		lane := make([]float64, t.P)
-		for i := 0; i < t.P; i++ {
-			if j := i + d; j >= 0 && j < t.P {
-				lane[i] = t.At(i, j)
-			}
-		}
-		e.lanes = append(e.lanes, lane...)
 	}
+	lane := s.ints2(2*p - 1) // diagonal index → stored lane number
+	for d := 0; d < 2*p-1; d++ {
+		if count[d] > 0 {
+			lane[d] = int32(len(e.diagNo))
+			e.diagNo = append(e.diagNo, int32(d-(p-1)))
+		}
+	}
+	e.lanes = make([]float64, len(e.diagNo)*p)
+	for i := 0; i < p; i++ {
+		cols, vals := t.RowView(i)
+		for k, j := range cols {
+			e.lanes[int(lane[int(j)-i+p-1])*p+i] = vals[k]
+		}
+	}
+	putScratch(s)
 	return e
 }
 

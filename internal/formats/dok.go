@@ -34,20 +34,19 @@ func encodeDOK(t *matrix.Tile) *DOKEnc {
 	for s := range e.keys {
 		e.keys[s] = dokEmpty
 	}
+	// Row-major insertion order matches the dense reference scan, so the
+	// probe sequence — and therefore the table layout — is identical.
 	for i := 0; i < t.P; i++ {
-		for j := 0; j < t.P; j++ {
-			v := t.At(i, j)
-			if v == 0 {
-				continue
-			}
-			key := dokKey(i, j)
+		cols, vals := t.RowView(i)
+		for k, j := range cols {
+			key := dokKey(i, int(j))
 			// Multiplicative hash, linear probing.
 			slot := int(uint32(key)*2654435761) & (size - 1)
 			for e.keys[slot] != dokEmpty {
 				slot = (slot + 1) & (size - 1)
 			}
 			e.keys[slot] = key
-			e.vals[slot] = v
+			e.vals[slot] = vals[k]
 		}
 	}
 	return e

@@ -40,14 +40,9 @@ func encodeELL(t *matrix.Tile) *ELLEnc {
 		e.idx[i] = ellPad
 	}
 	for i := 0; i < t.P; i++ {
-		k := 0
-		for j := 0; j < t.P; j++ {
-			if v := t.At(i, j); v != 0 {
-				e.idx[i*w+k] = int32(j)
-				e.vals[i*w+k] = v
-				k++
-			}
-		}
+		cols, vals := t.RowView(i)
+		copy(e.idx[i*w:], cols)
+		copy(e.vals[i*w:], vals)
 	}
 	return e
 }

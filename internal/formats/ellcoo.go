@@ -37,21 +37,14 @@ func encodeELLCOO(t *matrix.Tile, cap int) *ELLCOOEnc {
 		e.idx[i] = ellPad
 	}
 	for i := 0; i < t.P; i++ {
-		k := 0
-		for j := 0; j < t.P; j++ {
-			v := t.At(i, j)
-			if v == 0 {
-				continue
-			}
-			if k < w {
-				e.idx[i*w+k] = int32(j)
-				e.vals[i*w+k] = v
-				k++
-			} else {
-				e.srow = append(e.srow, int32(i))
-				e.scol = append(e.scol, int32(j))
-				e.sval = append(e.sval, v)
-			}
+		cols, vals := t.RowView(i)
+		take := min(len(cols), w)
+		copy(e.idx[i*w:], cols[:take])
+		copy(e.vals[i*w:], vals[:take])
+		for k := take; k < len(cols); k++ {
+			e.srow = append(e.srow, int32(i))
+			e.scol = append(e.scol, cols[k])
+			e.sval = append(e.sval, vals[k])
 		}
 	}
 	e.srow = append(e.srow, cooSentinel)

@@ -43,6 +43,11 @@ const (
 	numKinds
 )
 
+// NumKinds is the number of implemented formats; Kind values are the
+// contiguous range [0, NumKinds). Consumers (e.g. hlsim's per-format plan
+// slots) index dense arrays by Kind.
+const NumKinds = int(numKinds)
+
 // String returns the conventional name of the format.
 func (k Kind) String() string {
 	switch k {

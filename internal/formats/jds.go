@@ -1,8 +1,6 @@
 package formats
 
 import (
-	"sort"
-
 	"copernicus/internal/matrix"
 )
 
@@ -23,44 +21,51 @@ type JDSEnc struct {
 }
 
 func encodeJDS(t *matrix.Tile) *JDSEnc {
-	e := &JDSEnc{p: t.P, nzr: t.NonZeroRows()}
-	e.perm = make([]int32, t.P)
-	rows := make([]int, t.P)
-	for i := range rows {
-		rows[i] = i
+	p, nnz := t.P, t.NNZ()
+	e := &JDSEnc{p: p, nzr: t.NonZeroRows()}
+	e.perm = make([]int32, p)
+	// Stable counting sort of rows by descending non-zero count —
+	// identical ordering to a stable comparison sort, in O(p).
+	s := getScratch()
+	cnt := s.ints(p + 1)
+	for i := 0; i < p; i++ {
+		cnt[t.RowNNZ(i)]++
 	}
-	sort.SliceStable(rows, func(a, b int) bool {
-		return t.RowNNZ(rows[a]) > t.RowNNZ(rows[b])
-	})
-	for r, orig := range rows {
-		e.perm[r] = int32(orig)
+	pos := s.ints2(p + 1) // first sorted position of each count bucket
+	running := int32(0)
+	for c := p; c >= 0; c-- {
+		pos[c] = running
+		running += cnt[c]
 	}
+	for i := 0; i < p; i++ {
+		c := t.RowNNZ(i)
+		e.perm[pos[c]] = int32(i)
+		pos[c]++
+	}
+	putScratch(s)
 	w := 0
-	if t.P > 0 {
-		w = t.RowNNZ(rows[0])
+	if p > 0 {
+		w = t.RowNNZ(int(e.perm[0]))
 	}
-	// Pre-extract each row's compacted non-zeros once.
-	type ent struct {
-		col int32
-		val float64
-	}
-	compact := make([][]ent, t.P)
-	for r, orig := range rows {
-		for j := 0; j < t.P; j++ {
-			if v := t.At(orig, j); v != 0 {
-				compact[r] = append(compact[r], ent{int32(j), v})
-			}
-		}
-	}
+	// The sparse row views are already the compacted rows; jagged
+	// diagonal k gathers the k-th entry of every row long enough.
 	e.ptr = make([]int32, w+1)
+	e.idx = make([]int32, nnz)
+	e.vals = make([]float64, nnz)
+	cur := 0
 	for k := 0; k < w; k++ {
-		e.ptr[k] = int32(len(e.vals))
-		for r := 0; r < t.P && len(compact[r]) > k; r++ {
-			e.idx = append(e.idx, compact[r][k].col)
-			e.vals = append(e.vals, compact[r][k].val)
+		e.ptr[k] = int32(cur)
+		for r := 0; r < p; r++ {
+			cols, vals := t.RowView(int(e.perm[r]))
+			if len(cols) <= k {
+				break // rows are sorted by descending length
+			}
+			e.idx[cur] = cols[k]
+			e.vals[cur] = vals[k]
+			cur++
 		}
 	}
-	e.ptr[w] = int32(len(e.vals))
+	e.ptr[w] = int32(cur)
 	return e
 }
 

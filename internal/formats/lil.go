@@ -24,21 +24,45 @@ type LILEnc struct {
 const lilTerm = int32(-1)
 
 func encodeLIL(t *matrix.Tile) *LILEnc {
+	p, nnz := t.P, t.NNZ()
 	e := &LILEnc{
-		p:       t.P,
-		colRows: make([][]int32, t.P),
-		colVals: make([][]float64, t.P),
-		nnz:     t.NNZ(),
+		p:       p,
+		colRows: make([][]int32, p),
+		colVals: make([][]float64, p),
+		nnz:     nnz,
 		nzr:     t.NonZeroRows(),
 	}
-	for j := 0; j < t.P; j++ {
-		for i := 0; i < t.P; i++ {
-			if v := t.At(i, j); v != 0 {
-				e.colRows[j] = append(e.colRows[j], int32(i))
-				e.colVals[j] = append(e.colVals[j], v)
-			}
+	s := getScratch()
+	cur := s.ints(p) // per-column counts, then scatter cursors
+	for i := 0; i < p; i++ {
+		cols, _ := t.RowView(i)
+		for _, j := range cols {
+			cur[j]++
 		}
 	}
+	// All column lists slice two shared backing arrays.
+	rowsBuf := make([]int32, nnz)
+	valsBuf := make([]float64, nnz)
+	running := int32(0)
+	for j := 0; j < p; j++ {
+		c := cur[j]
+		cur[j] = running
+		if c > 0 {
+			e.colRows[j] = rowsBuf[running : running+c : running+c]
+			e.colVals[j] = valsBuf[running : running+c : running+c]
+		}
+		running += c
+	}
+	// Scattering the row-major walk keeps each list's rows ascending.
+	for i := 0; i < p; i++ {
+		cols, vals := t.RowView(i)
+		for k, j := range cols {
+			rowsBuf[cur[j]] = int32(i)
+			valsBuf[cur[j]] = vals[k]
+			cur[j]++
+		}
+	}
+	putScratch(s)
 	return e
 }
 

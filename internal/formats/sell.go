@@ -21,6 +21,8 @@ func encodeSELL(t *matrix.Tile, c int) *SELLEnc {
 		panic("formats: SELL requires p divisible by slice height")
 	}
 	e := &SELLEnc{p: t.P, c: c, nnz: t.NNZ(), nzr: t.NonZeroRows()}
+	e.widths = make([]int32, 0, t.P/c)
+	total := 0
 	for s := 0; s < t.P/c; s++ {
 		w := 0
 		for i := s * c; i < (s+1)*c; i++ {
@@ -29,22 +31,22 @@ func encodeSELL(t *matrix.Tile, c int) *SELLEnc {
 			}
 		}
 		e.widths = append(e.widths, int32(w))
-		base := len(e.idx)
-		e.idx = append(e.idx, make([]int32, c*w)...)
-		e.vals = append(e.vals, make([]float64, c*w)...)
-		for k := base; k < len(e.idx); k++ {
-			e.idx[k] = ellPad
-		}
+		total += c * w
+	}
+	e.idx = make([]int32, total)
+	e.vals = make([]float64, total)
+	for k := range e.idx {
+		e.idx[k] = ellPad
+	}
+	base := 0
+	for s, w32 := range e.widths {
+		w := int(w32)
 		for r := 0; r < c; r++ {
-			k := 0
-			for j := 0; j < t.P; j++ {
-				if v := t.At(s*c+r, j); v != 0 {
-					e.idx[base+r*w+k] = int32(j)
-					e.vals[base+r*w+k] = v
-					k++
-				}
-			}
+			cols, vals := t.RowView(s*c + r)
+			copy(e.idx[base+r*w:], cols)
+			copy(e.vals[base+r*w:], vals)
 		}
+		base += c * w
 	}
 	return e
 }

@@ -1,8 +1,6 @@
 package formats
 
 import (
-	"sort"
-
 	"copernicus/internal/matrix"
 )
 
@@ -36,15 +34,25 @@ func encodeSELLCS(t *matrix.Tile, c, sigma int) *SELLCSEnc {
 	for i := range e.perm {
 		e.perm[i] = int32(i)
 	}
-	// Sort rows by descending nnz within each sigma window.
+	// Stable insertion sort by descending nnz within each sigma window
+	// (windows are small — σ rows — so this is O(σ) amortized per row and
+	// reproduces sort.SliceStable's ordering exactly).
 	for w := 0; w < t.P; w += sigma {
 		end := min(w+sigma, t.P)
-		win := e.perm[w:end]
-		sort.SliceStable(win, func(a, b int) bool {
-			return t.RowNNZ(int(win[a])) > t.RowNNZ(int(win[b]))
-		})
+		for a := w + 1; a < end; a++ {
+			v := e.perm[a]
+			key := t.RowNNZ(int(v))
+			b := a - 1
+			for b >= w && t.RowNNZ(int(e.perm[b])) < key {
+				e.perm[b+1] = e.perm[b]
+				b--
+			}
+			e.perm[b+1] = v
+		}
 	}
 	// Slice the permuted rows and ELL-pack each slice.
+	e.widths = make([]int32, 0, t.P/c)
+	total := 0
 	for s := 0; s < t.P/c; s++ {
 		w := 0
 		for r := s * c; r < (s+1)*c; r++ {
@@ -53,23 +61,22 @@ func encodeSELLCS(t *matrix.Tile, c, sigma int) *SELLCSEnc {
 			}
 		}
 		e.widths = append(e.widths, int32(w))
-		base := len(e.idx)
-		e.idx = append(e.idx, make([]int32, c*w)...)
-		e.vals = append(e.vals, make([]float64, c*w)...)
-		for k := base; k < len(e.idx); k++ {
-			e.idx[k] = ellPad
-		}
+		total += c * w
+	}
+	e.idx = make([]int32, total)
+	e.vals = make([]float64, total)
+	for k := range e.idx {
+		e.idx[k] = ellPad
+	}
+	base := 0
+	for s, w32 := range e.widths {
+		w := int(w32)
 		for r := 0; r < c; r++ {
-			orig := int(e.perm[s*c+r])
-			k := 0
-			for j := 0; j < t.P; j++ {
-				if v := t.At(orig, j); v != 0 {
-					e.idx[base+r*w+k] = int32(j)
-					e.vals[base+r*w+k] = v
-					k++
-				}
-			}
+			cols, vals := t.RowView(int(e.perm[s*c+r]))
+			copy(e.idx[base+r*w:], cols)
+			copy(e.vals[base+r*w:], vals)
 		}
+		base += c * w
 	}
 	return e
 }

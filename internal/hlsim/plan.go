@@ -3,7 +3,10 @@ package hlsim
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
+	"sync/atomic"
+	"unsafe"
 
 	"copernicus/internal/formats"
 	"copernicus/internal/matrix"
@@ -17,12 +20,16 @@ import (
 // stream the same matrix repeatedly — iterative kernels, characterization
 // sweeps — hold a Plan so each SpMV pays only the per-iteration dot work.
 //
-// The functional path is sparse-aware: the plan stores each tile's
-// non-zeros in CSR-native form (built once from the partitioning), and
-// SpMV iterates those stored entries instead of decoding a dense tile and
-// walking all p² positions. The decompress→verify cross-check against the
-// format decoders still runs, but once per (format, plan) rather than
-// once per multiplication.
+// The plan is sparse-native end to end: the partitioning stores compact
+// per-tile CSR spans (O(nnz) resident, never p² buffers), the functional
+// rows/cols/vals arrays are copied straight out of those spans, and each
+// format's encoder walks the sparse tile in O(nnz + p).
+//
+// Format state is guarded per format (one once-guard per Kind for encode
+// and another for verify), so concurrent consumers characterizing
+// different formats on one plan never serialize against each other; a
+// format's tiles can additionally be encoded on a bounded worker pool
+// (SetWorkers) with deterministic, tile-ordered aggregation.
 //
 // A Plan is safe for concurrent use.
 type Plan struct {
@@ -31,42 +38,63 @@ type Plan struct {
 	p   int
 	pt  *matrix.Partitioning
 
+	// encPool, when set, lends helper goroutines to tile-parallel warmup;
+	// nil encodes serially. The engine shares one pool across every plan
+	// it caches so total encode parallelism stays bounded by its worker
+	// count even when many sweep groups warm plans at once.
+	encPool atomic.Pointer[EncodePool]
+
 	// CSR-native functional view of the non-zero tiles, built lazily by
 	// ensureRows on the first multiplication (cycle-model-only paths —
 	// Trace, Schedule — never pay for it): each row spans
 	// cols/vals[row.start:row.end]. Iterating these reproduces the exact
-	// accumulation order of the dense per-tile loop (ascending local row,
+	// accumulation order of the per-tile pipeline (ascending local row,
 	// ascending column), so results are bit-identical to the pre-plan path.
-	rowsOnce sync.Once
-	rows     []planRow
-	cols     []int32
-	vals     []float64
+	rowsOnce  sync.Once
+	rows      []planRow
+	cols      []int32
+	vals      []float64
+	rowsBytes atomic.Int64
 
-	mu   sync.Mutex
-	fmts map[formats.Kind]*planFormat
+	ptBytes int64
+	fmts    [formats.NumKinds]planSlot
 }
 
-// planRow is one non-zero tile row: its global row index and the span of
-// its entries in the plan's cols/vals arrays.
-type planRow struct {
-	gi         int
-	start, end int
+// planSlot is one format's cached state: separate once-guards for the
+// encode and verify phases (replacing the old plan-wide mutex that
+// serialized every format behind whichever encode ran first) and an
+// atomically published result so stats readers never race the encode.
+type planSlot struct {
+	encodeOnce sync.Once
+	verifyOnce sync.Once
+	pf         atomic.Pointer[planFormat]
 }
 
 // planFormat caches everything format-dependent: per-tile cycle costs,
 // the aggregated Result totals, and the outcome of the one-time
 // decode-and-verify cross-check (run on first functional use, not for
-// cycle-model-only consumers like Trace and Schedule).
+// cycle-model-only consumers like Trace and Schedule). tiles and agg are
+// immutable once published; encs is consumed under the verify once-guard.
 type planFormat struct {
 	tiles []TileResult
 	agg   formatAgg
 	// encs holds the encodings from format() until verify consumes them
 	// (freed afterwards); one-shot cycle-model consumers drop the whole
 	// plan, so nothing lingers.
-	encs     []formats.Encoded
-	verified bool
-	err      error // sticky decode/cross-check failure
+	encs []formats.Encoded
+	// verifyErr is the sticky decode/cross-check failure, published
+	// atomically so format() readers can observe it without locking.
+	verifyErr atomic.Pointer[error]
 }
+
+func (pf *planFormat) err() error {
+	if ep := pf.verifyErr.Load(); ep != nil {
+		return *ep
+	}
+	return nil
+}
+
+func (pf *planFormat) setErr(err error) { pf.verifyErr.Store(&err) }
 
 // formatAgg carries the Result totals aggregated over all non-zero tiles.
 type formatAgg struct {
@@ -82,6 +110,18 @@ type formatAgg struct {
 	sumBalance        float64
 }
 
+// planRow is one non-zero tile row: its global row index and the span of
+// its entries in the plan's cols/vals arrays.
+type planRow struct {
+	gi         int
+	start, end int
+}
+
+// planEncodeHook, when non-nil, is called at the start of every format
+// encode — a test seam proving that different formats warm up
+// concurrently rather than serializing on a shared lock.
+var planEncodeHook func(formats.Kind)
+
 // NewPlan partitions m once at partition size p under the given hardware
 // configuration. Encodings are produced lazily, once per format, on first
 // use.
@@ -89,13 +129,14 @@ func NewPlan(cfg Config, m *matrix.CSR, p int) (*Plan, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Plan{
-		cfg:  cfg,
-		m:    m,
-		p:    p,
-		pt:   matrix.Partition(m, p),
-		fmts: make(map[formats.Kind]*planFormat),
-	}, nil
+	pl := &Plan{
+		cfg: cfg,
+		m:   m,
+		p:   p,
+		pt:  matrix.Partition(m, p),
+	}
+	pl.ptBytes = pl.pt.MemoryBytes()
+	return pl, nil
 }
 
 // Config returns the plan's hardware configuration.
@@ -110,8 +151,64 @@ func (pl *Plan) P() int { return pl.p }
 // Partitioning returns the cached partitioning.
 func (pl *Plan) Partitioning() *matrix.Partitioning { return pl.pt }
 
-// ensureRows extracts the CSR-native per-tile row spans from the dense
-// tiles, once per plan, on the first multiplication.
+// EncodePool is a token bucket lending helper goroutines to the
+// tile-parallel warmup of every plan that shares it. A format encode
+// borrows helpers only when tokens are immediately free and always does
+// work on the calling goroutine too, so a pool shared across concurrent
+// sweep groups bounds *total* extra encode goroutines at the pool size
+// instead of multiplying per plan — and a drained pool degrades to the
+// plain serial encode.
+type EncodePool struct {
+	tokens chan struct{}
+}
+
+// NewEncodePool returns a pool lending up to `helpers` concurrent helper
+// goroutines (0 means no parallelism beyond the caller).
+func NewEncodePool(helpers int) *EncodePool {
+	if helpers < 0 {
+		helpers = 0
+	}
+	return &EncodePool{tokens: make(chan struct{}, helpers)}
+}
+
+// SetWorkers bounds the tile-parallel warmup: format encodes fan tiles
+// out over up to n goroutines, caller included (aggregation stays serial
+// and tile-ordered, so results are bit-identical to a serial encode).
+// n <= 1 encodes serially; 0 is treated as GOMAXPROCS. The pool created
+// here is private to this plan; use SetEncodePool to share one bound
+// across many plans.
+func (pl *Plan) SetWorkers(n int) {
+	if n == 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n < 1 {
+		n = 1
+	}
+	pl.SetEncodePool(NewEncodePool(n - 1))
+}
+
+// SetEncodePool installs a (possibly shared) helper pool for
+// tile-parallel warmup; nil restores serial encoding.
+func (pl *Plan) SetEncodePool(p *EncodePool) { pl.encPool.Store(p) }
+
+// MemoryBytes returns the plan's resident footprint: the sparse tile
+// spans, the functional rows/cols/vals arrays (once built), and every
+// cached per-format cycle table. Because tiles are CSR-native this is
+// O(nnz + tiles·p + formats·tiles), not O(tiles·p²).
+func (pl *Plan) MemoryBytes() int64 {
+	b := pl.ptBytes + pl.rowsBytes.Load()
+	for i := range pl.fmts {
+		if pf := pl.fmts[i].pf.Load(); pf != nil {
+			b += int64(len(pf.tiles)) * int64(unsafe.Sizeof(TileResult{}))
+		}
+	}
+	return b
+}
+
+// ensureRows copies the CSR-native per-tile row spans into the plan's
+// functional arrays, once per plan, on the first multiplication — a pure
+// O(nnz) copy out of the sparse tiles (the old dense p²-per-tile rescan
+// is gone).
 func (pl *Plan) ensureRows() {
 	pl.rowsOnce.Do(func() {
 		nnz := 0
@@ -120,50 +217,104 @@ func (pl *Plan) ensureRows() {
 			nnz += t.NNZ()
 			nzRows += t.NonZeroRows()
 		}
-		pl.rows = make([]planRow, 0, nzRows)
-		pl.cols = make([]int32, 0, nnz)
-		pl.vals = make([]float64, 0, nnz)
+		rows := make([]planRow, 0, nzRows)
+		cols := make([]int32, 0, nnz)
+		vals := make([]float64, 0, nnz)
 		for _, t := range pl.pt.Tiles {
+			base := int32(t.Col)
 			for i := 0; i < t.P; i++ {
 				gi := t.Row + i
 				if gi >= pl.m.Rows {
 					break
 				}
-				if t.RowNNZ(i) == 0 {
+				tc, tv := t.RowView(i)
+				if len(tc) == 0 {
 					continue
 				}
-				start := len(pl.cols)
-				for j := 0; j < t.P; j++ {
-					if v := t.Val[i*t.P+j]; v != 0 {
-						pl.cols = append(pl.cols, int32(t.Col+j))
-						pl.vals = append(pl.vals, v)
-					}
+				start := len(cols)
+				for _, c := range tc {
+					cols = append(cols, base+c)
 				}
-				pl.rows = append(pl.rows, planRow{gi: gi, start: start, end: len(pl.cols)})
+				vals = append(vals, tv...)
+				rows = append(rows, planRow{gi: gi, start: start, end: len(cols)})
 			}
 		}
+		pl.rows, pl.cols, pl.vals = rows, cols, vals
+		pl.rowsBytes.Store(int64(len(rows))*int64(unsafe.Sizeof(planRow{})) +
+			int64(len(cols))*4 + int64(len(vals))*8)
 	})
 }
 
 // format returns the cached per-format state, encoding and pricing every
-// non-zero tile exactly once. It does not run the decode cross-check;
-// see verify.
+// non-zero tile exactly once per format — under that format's own
+// once-guard, so distinct formats warm concurrently. It does not run the
+// decode cross-check; see verify.
 func (pl *Plan) format(k formats.Kind) (*planFormat, error) {
-	pl.mu.Lock()
-	defer pl.mu.Unlock()
-	if pf, ok := pl.fmts[k]; ok {
-		return pf, pf.err
+	slot := &pl.fmts[k]
+	slot.encodeOnce.Do(func() { slot.pf.Store(pl.encodeFormat(k)) })
+	pf := slot.pf.Load()
+	return pf, pf.err()
+}
+
+// Tile-parallel warmup tuning: chunks of tiles are claimed atomically so
+// stragglers balance, and tiny tile counts stay serial.
+const (
+	encodeChunk      = 8
+	minParallelTiles = 2 * encodeChunk
+)
+
+// encodeFormat encodes and prices every non-zero tile in format k. With
+// an encode pool installed, tiles are claimed in chunks by the caller
+// plus however many pool helpers are free right now, into
+// index-addressed slots; aggregation always runs serially in tile order,
+// so the totals (including the float balance sum) are bit-identical to a
+// serial encode.
+func (pl *Plan) encodeFormat(k formats.Kind) *planFormat {
+	if planEncodeHook != nil {
+		planEncodeHook(k)
 	}
-	pf := &planFormat{
-		tiles: make([]TileResult, 0, len(pl.pt.Tiles)),
-		encs:  make([]formats.Encoded, 0, len(pl.pt.Tiles)),
+	tiles := pl.pt.Tiles
+	n := len(tiles)
+	pf := &planFormat{tiles: make([]TileResult, n), encs: make([]formats.Encoded, n)}
+	var next atomic.Int64
+	work := func() {
+		for {
+			lo := int(next.Add(encodeChunk)) - encodeChunk
+			if lo >= n {
+				return
+			}
+			for i := lo; i < min(lo+encodeChunk, n); i++ {
+				enc := formats.Encode(k, tiles[i])
+				pf.encs[i] = enc
+				pf.tiles[i] = RunTile(pl.cfg, enc)
+			}
+		}
 	}
-	pl.fmts[k] = pf
-	for _, tile := range pl.pt.Tiles {
-		enc := formats.Encode(k, tile)
-		tr := RunTile(pl.cfg, enc)
-		pf.tiles = append(pf.tiles, tr)
-		pf.encs = append(pf.encs, enc)
+	pool := pl.encPool.Load()
+	if pool != nil && n >= minParallelTiles {
+		var wg sync.WaitGroup
+		maxHelpers := min(cap(pool.tokens), n/encodeChunk-1)
+	borrow:
+		for h := 0; h < maxHelpers; h++ {
+			select {
+			case pool.tokens <- struct{}{}: // a helper slot is free now
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					defer func() { <-pool.tokens }()
+					work()
+				}()
+			default:
+				break borrow // pool busy: the caller encodes alone
+			}
+		}
+		work()
+		wg.Wait()
+	} else {
+		work()
+	}
+	for i := range pf.tiles {
+		tr := &pf.tiles[i]
 		pf.agg.MemCycles += uint64(tr.MemCycles)
 		pf.agg.ComputeCycles += uint64(tr.ComputeCycles)
 		pf.agg.DecompCycles += uint64(tr.DecompCycles)
@@ -174,14 +325,14 @@ func (pl *Plan) format(k formats.Kind) (*planFormat, error) {
 			pf.agg.StallMemCycles += uint64(tr.ComputeCycles - tr.MemCycles)
 		}
 		pf.agg.DotRows += uint64(tr.DotRows)
-		pf.agg.NNZ += uint64(enc.Stats().NNZ)
+		pf.agg.NNZ += uint64(pf.encs[i].Stats().NNZ)
 		pf.agg.Footprint.UsefulBytes += tr.Footprint.UsefulBytes
 		pf.agg.Footprint.MetaBytes += tr.Footprint.MetaBytes
 		pf.agg.Footprint.ValueLaneBytes += tr.Footprint.ValueLaneBytes
 		pf.agg.Footprint.IndexLaneBytes += tr.Footprint.IndexLaneBytes
 		pf.agg.sumBalance += tr.Balance()
 	}
-	return pf, nil
+	return pf
 }
 
 // verify returns the cached per-format state after the decode-and-verify
@@ -195,32 +346,60 @@ func (pl *Plan) verify(k formats.Kind) (*planFormat, error) {
 	if err != nil {
 		return pf, err
 	}
-	pl.mu.Lock()
-	defer pl.mu.Unlock()
-	if pf.verified {
-		return pf, pf.err
-	}
-	pf.verified = true
-	encs := pf.encs
-	pf.encs = nil // encodings are not needed once cross-checked
-	for ti, tile := range pl.pt.Tiles {
-		dec, err := encs[ti].Decode()
-		if err != nil {
-			pf.err = fmt.Errorf("hlsim: tile (%d,%d): %w", tile.Row, tile.Col, err)
-			return pf, pf.err
+	pl.fmts[k].verifyOnce.Do(func() {
+		encs := pf.encs
+		pf.encs = nil // encodings are not needed once cross-checked
+		for ti, tile := range pl.pt.Tiles {
+			dec, err := encs[ti].Decode()
+			if err != nil {
+				pf.setErr(fmt.Errorf("hlsim: tile (%d,%d): %w", tile.Row, tile.Col, err))
+				return
+			}
+			if err := crossCheck(k, tile, dec); err != nil {
+				pf.setErr(err)
+				return
+			}
 		}
-		for i, v := range tile.Val {
-			// NaN-tolerant exact equality: NaN entries round-trip as NaN
-			// (the mtx loader admits them), which must not read as
-			// corruption.
-			if dec.Val[i] != v && !(math.IsNaN(dec.Val[i]) && math.IsNaN(v)) {
-				pf.err = fmt.Errorf("hlsim: tile (%d,%d): %v decode mismatch at local (%d,%d): %g != %g",
-					tile.Row, tile.Col, k, i/tile.P, i%tile.P, dec.Val[i], v)
-				return pf, pf.err
+	})
+	return pf, pf.err()
+}
+
+// crossCheck compares a decoded tile against the original, sparse row by
+// sparse row — O(nnz), with the same NaN-tolerant exact equality as the
+// old dense compare: NaN entries round-trip as NaN (the mtx loader admits
+// them), which must not read as corruption.
+func crossCheck(k formats.Kind, tile, dec *matrix.Tile) error {
+	for i := 0; i < tile.P; i++ {
+		tc, tv := tile.RowView(i)
+		dc, dv := dec.RowView(i)
+		if len(tc) != len(dc) {
+			return fmt.Errorf("hlsim: tile (%d,%d): %v decode mismatch at local row %d: %d non-zeros != %d",
+				tile.Row, tile.Col, k, i, len(dc), len(tc))
+		}
+		for x := range tc {
+			if tc[x] != dc[x] {
+				return fmt.Errorf("hlsim: tile (%d,%d): %v decode mismatch at local row %d: column %d != %d",
+					tile.Row, tile.Col, k, i, dc[x], tc[x])
+			}
+			if dv[x] != tv[x] && !(math.IsNaN(dv[x]) && math.IsNaN(tv[x])) {
+				return fmt.Errorf("hlsim: tile (%d,%d): %v decode mismatch at local (%d,%d): %g != %g",
+					tile.Row, tile.Col, k, i, tc[x], dv[x], tv[x])
 			}
 		}
 	}
-	return pf, nil
+	return nil
+}
+
+// slicesOverlap reports whether the two slices' element ranges share any
+// memory (compared by address range, so offset overlaps are caught too).
+func slicesOverlap(a, b []float64) bool {
+	if len(a) == 0 || len(b) == 0 {
+		return false
+	}
+	pa := uintptr(unsafe.Pointer(unsafe.SliceData(a)))
+	pb := uintptr(unsafe.Pointer(unsafe.SliceData(b)))
+	const w = unsafe.Sizeof(float64(0))
+	return pa < pb+uintptr(len(b))*w && pb < pa+uintptr(len(a))*w
 }
 
 // spmv accumulates y += A·x through the plan's tile rows, reproducing the
@@ -243,17 +422,43 @@ func (pl *Plan) spmv(x []float64, y []float64) {
 // in format k, multiplying by x. Cycle totals come from the cached
 // per-format aggregates; only the functional dot work is paid per call.
 func (pl *Plan) Run(k formats.Kind, x []float64) (*Result, error) {
+	r := new(Result)
+	if err := pl.RunInto(k, x, r); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// RunInto is Run writing into a caller-held Result, reusing r.Y when its
+// capacity suffices: the warm path performs zero allocations, so solver
+// loops and sweep services can stream SpMVs with no GC traffic. The
+// previous contents of r are overwritten. The input x must not alias the
+// reused r.Y (the output is cleared before accumulation, which would
+// zero the input); feeding an iteration's output back in requires a
+// second Result, as kernels.Accelerator's double buffering does — the
+// aliasing is detected and rejected.
+func (pl *Plan) RunInto(k formats.Kind, x []float64, r *Result) error {
 	if len(x) != pl.m.Cols {
-		return nil, fmt.Errorf("hlsim: vector length %d for %d-column matrix", len(x), pl.m.Cols)
+		return fmt.Errorf("hlsim: vector length %d for %d-column matrix", len(x), pl.m.Cols)
 	}
 	pf, err := pl.verify(k)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	r := &Result{
+	y := r.Y
+	if cap(y) < pl.m.Rows {
+		y = make([]float64, pl.m.Rows)
+	} else {
+		if slicesOverlap(x, y[:cap(y)]) {
+			return fmt.Errorf("hlsim: RunInto input x overlaps the reused r.Y buffer; use a second Result to feed an output back in")
+		}
+		y = y[:pl.m.Rows]
+		clear(y)
+	}
+	*r = Result{
 		Kind:              k,
 		P:                 pl.p,
-		Y:                 make([]float64, pl.m.Rows),
+		Y:                 y,
 		NonZeroTiles:      len(pl.pt.Tiles),
 		TotalTiles:        pl.pt.TotalTiles,
 		MemCycles:         pf.agg.MemCycles,
@@ -268,8 +473,8 @@ func (pl *Plan) Run(k formats.Kind, x []float64) (*Result, error) {
 		sumBalance:        pf.agg.sumBalance,
 		cfg:               pl.cfg,
 	}
-	pl.spmv(x, r.Y)
-	return r, nil
+	pl.spmv(x, y)
+	return nil
 }
 
 // RunParallel distributes the non-zero partitions across `lanes`

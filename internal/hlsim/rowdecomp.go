@@ -351,13 +351,13 @@ func newGenericSource(cfg Config, enc formats.Encoded) (*genericSource, error) {
 	// Padded formats emit every row; others only non-zero rows.
 	emitAll := enc.Stats().DotRows == p
 	for i := 0; i < p; i++ {
-		nz := dec.RowNNZ(i) > 0
-		if !emitAll && !nz {
+		cols, vals := dec.RowView(i)
+		if !emitAll && len(cols) == 0 {
 			continue
 		}
 		row := make([]float64, p)
-		for j := 0; j < p; j++ {
-			row[j] = dec.At(i, j)
+		for k := range cols {
+			row[cols[k]] = vals[k]
 		}
 		s.rows = append(s.rows, i)
 		s.vals = append(s.vals, row)

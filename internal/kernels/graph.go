@@ -59,7 +59,10 @@ func PageRank(mul SpMV, n int, damping, tol float64, maxIter int) ([]float64, St
 			break
 		}
 	}
-	return x, st, nil
+	// x may alias a buffer the backend reuses (Accelerator double-buffers
+	// its outputs); return a uniquely owned copy so later backend calls
+	// cannot clobber the caller's ranks.
+	return append([]float64(nil), x...), st, nil
 }
 
 // BFSLevels computes breadth-first levels from source over the directed

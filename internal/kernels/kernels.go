@@ -36,7 +36,12 @@ func Software(m *matrix.CSR) SpMV {
 // The backend holds an encode-once streaming plan: the matrix is
 // partitioned, encoded, and decode-verified when the backend is built,
 // so each solver iteration pays only the per-iteration dot work instead
-// of re-running the whole partition→encode→decode pipeline.
+// of re-running the whole partition→encode→decode pipeline. Warm
+// iterations are allocation-free: the backend double-buffers its output,
+// so a returned slice stays valid until the call after next (enough for
+// every kernel in this package, which at most keeps the previous
+// iterate) but is eventually overwritten — copy it to retain it. The
+// returned backend is not safe for concurrent calls.
 func Accelerator(cfg hlsim.Config, m *matrix.CSR, k formats.Kind, p int) (mul SpMV, cycleCost uint64, err error) {
 	plan, err := hlsim.NewPlan(cfg, m, p)
 	if err != nil {
@@ -47,9 +52,12 @@ func Accelerator(cfg hlsim.Config, m *matrix.CSR, k formats.Kind, p int) (mul Sp
 	if err != nil {
 		return nil, 0, err
 	}
+	var buf [2]hlsim.Result
+	flip := 0
 	return func(x []float64) ([]float64, error) {
-		r, err := plan.Run(k, x)
-		if err != nil {
+		r := &buf[flip]
+		flip ^= 1
+		if err := plan.RunInto(k, x, r); err != nil {
 			return nil, err
 		}
 		return r.Y, nil

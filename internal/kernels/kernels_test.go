@@ -261,3 +261,62 @@ func TestDot(t *testing.T) {
 		t.Fatalf("Dot = %v", d)
 	}
 }
+
+// TestAcceleratorWarmIterationsZeroAllocs: after the probe, every backend
+// call must run allocation-free — the plan's RunInto path reuses the
+// backend's double-buffered Results, so solver loops generate no GC
+// traffic.
+func TestAcceleratorWarmIterationsZeroAllocs(t *testing.T) {
+	m := gen.Stencil2D(8, 8, 3)
+	mul, _, err := Accelerator(hlsim.Default(), m, formats.CSR, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := rhs(m.Rows, 4)
+	if _, err := mul(x); err != nil {
+		t.Fatal(err) // fill both buffers
+	}
+	if _, err := mul(x); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := mul(x); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm accelerator iteration allocates %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestAcceleratorDoubleBuffering: a returned vector must stay intact
+// across the next call (kernels like PageRank keep the previous iterate
+// while computing the next one from it).
+func TestAcceleratorDoubleBuffering(t *testing.T) {
+	m := gen.Stencil2D(8, 8, 3)
+	mul, _, err := Accelerator(hlsim.Default(), m, formats.CSR, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := rhs(m.Rows, 4)
+	y1, err := mul(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]float64(nil), y1...)
+	y2, err := mul(y1) // consumes y1 while writing the other buffer
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if y1[i] != want[i] {
+			t.Fatalf("previous result clobbered at %d during next call", i)
+		}
+	}
+	wantY2 := m.MulVec(want)
+	for i := range wantY2 {
+		if diff := y2[i] - wantY2[i]; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("aliased-input result wrong at %d: %v vs %v", i, y2[i], wantY2[i])
+		}
+	}
+}

@@ -2,116 +2,288 @@ package matrix
 
 import "fmt"
 
-// Tile is one dense p×p partition of a larger sparse matrix. Copernicus
-// applies every compression format to non-zero partitions rather than to
-// the whole matrix (§4.1): partitioning bounds metadata growth, enables
+// Tile is one p×p partition of a larger sparse matrix. Copernicus applies
+// every compression format to non-zero partitions rather than to the
+// whole matrix (§4.1): partitioning bounds metadata growth, enables
 // coarse-grained parallelism, and lets all-zero partitions be skipped
 // entirely.
 //
-// Val is row-major and includes the partition's zeros; format encoders
-// decide what to store. Tiles on the matrix boundary are zero-padded to the
-// full p×p shape, matching the hardware's fixed-width dot-product engine.
+// A tile is stored sparse-natively as a compact per-tile CSR: row i's
+// entries occupy cols/vals[rowPtr[i]:rowPtr[i+1]], with local column
+// indices sorted ascending. Partition builds these spans directly into
+// per-partitioning backing buffers, so resident memory scales with the
+// tile's non-zeros, never with p². Tiles on the matrix boundary are
+// implicitly zero-padded to the full p×p shape, matching the hardware's
+// fixed-width dot-product engine — padding rows simply have empty spans.
+//
+// Mutation (Set) and decode paths stage values in a transient dense p×p
+// buffer that is converted back ("sealed") to the CSR form on the next
+// sparse read; the steady-state Partition→encode path never allocates it.
+// A sealed tile is safe for concurrent reads; mutation is not
+// goroutine-safe.
 type Tile struct {
-	P        int       // partition edge length
-	Row, Col int       // origin of the tile in the parent matrix
-	Val      []float64 // P*P row-major values
-	nnz      int
-	// rowNNZ caches the per-row non-zero counts and nzRows the number of
-	// rows with at least one non-zero, maintained by Set, so RowNNZ and
-	// NonZeroRows are O(1) instead of rescanning up to P² values. Both
-	// are consulted on every tile by the cycle model and Fig. 3 stats.
-	rowNNZ []int
+	P        int // partition edge length
+	Row, Col int // origin of the tile in the parent matrix
+
+	// Sealed CSR view: row i spans cols/vals[rowPtr[i]:rowPtr[i+1]].
+	rowPtr []int32 // len P+1
+	cols   []int32 // local column indices, ascending within a row
+	vals   []float64
 	nzRows int
+
+	// dense is the mutation/decode staging buffer (P*P row-major);
+	// non-nil marks the tile dirty until the next seal.
+	dense []float64
 }
 
-// NewTile returns an all-zero p×p tile at the given origin.
+// NewTile returns an all-zero p×p tile at the given origin, in staging
+// mode ready for Set calls (decoders and tests build tiles this way; the
+// partitioner constructs sealed tiles directly).
 func NewTile(p, row, col int) *Tile {
 	if p <= 0 {
 		panic(fmt.Sprintf("matrix: NewTile with p=%d", p))
 	}
-	return &Tile{P: p, Row: row, Col: col, Val: make([]float64, p*p), rowNNZ: make([]int, p)}
+	return &Tile{P: p, Row: row, Col: col, dense: make([]float64, p*p)}
 }
 
-// Set stores v at local coordinates (i, j), maintaining the nnz counts.
-func (t *Tile) Set(i, j int, v float64) {
-	k := i*t.P + j
-	old := t.Val[k]
-	if old != 0 && v == 0 {
-		t.nnz--
-		t.rowNNZ[i]--
-		if t.rowNNZ[i] == 0 {
-			t.nzRows--
+// newTileCSR wires a sealed tile over pre-built CSR spans (Partition and
+// TileAt own the backing buffers).
+func newTileCSR(p, row, col int, rowPtr, cols []int32, vals []float64, nzRows int) Tile {
+	return Tile{P: p, Row: row, Col: col, rowPtr: rowPtr, cols: cols, vals: vals, nzRows: nzRows}
+}
+
+// seal converts the dense staging buffer back to the compact CSR view.
+// It is a no-op on an already-sealed tile, so sparse accessors may call
+// it unconditionally (and concurrently, once sealed).
+func (t *Tile) seal() {
+	if t.dense == nil {
+		return
+	}
+	p := t.P
+	nnz := 0
+	for _, v := range t.dense {
+		if v != 0 {
+			nnz++
 		}
-	} else if old == 0 && v != 0 {
-		t.nnz++
-		if t.rowNNZ[i] == 0 {
+	}
+	t.rowPtr = make([]int32, p+1)
+	t.cols = make([]int32, 0, nnz)
+	t.vals = make([]float64, 0, nnz)
+	t.nzRows = 0
+	for i := 0; i < p; i++ {
+		row := t.dense[i*p : (i+1)*p]
+		for j, v := range row {
+			if v != 0 {
+				t.cols = append(t.cols, int32(j))
+				t.vals = append(t.vals, v)
+			}
+		}
+		if int(t.rowPtr[i]) != len(t.cols) {
 			t.nzRows++
 		}
-		t.rowNNZ[i]++
+		t.rowPtr[i+1] = int32(len(t.cols))
 	}
-	t.Val[k] = v
+	t.dense = nil
+}
+
+// Set stores v at local coordinates (i, j). It re-opens the dense staging
+// buffer if the tile was sealed; the next sparse read re-seals.
+func (t *Tile) Set(i, j int, v float64) {
+	if t.dense == nil {
+		t.dense = t.DenseInto(make([]float64, t.P*t.P))
+	}
+	t.dense[i*t.P+j] = v
 }
 
 // At returns the value at local coordinates (i, j).
-func (t *Tile) At(i, j int) float64 { return t.Val[i*t.P+j] }
+func (t *Tile) At(i, j int) float64 {
+	if t.dense != nil {
+		return t.dense[i*t.P+j]
+	}
+	lo, hi := int(t.rowPtr[i]), int(t.rowPtr[i+1])
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if int(t.cols[mid]) < j {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < int(t.rowPtr[i+1]) && int(t.cols[lo]) == j {
+		return t.vals[lo]
+	}
+	return 0
+}
 
 // NNZ returns the number of non-zero entries in the tile.
-func (t *Tile) NNZ() int { return t.nnz }
+func (t *Tile) NNZ() int {
+	t.seal()
+	return len(t.vals)
+}
 
 // Density returns NNZ / P².
-func (t *Tile) Density() float64 { return float64(t.nnz) / float64(t.P*t.P) }
+func (t *Tile) Density() float64 { return float64(t.NNZ()) / float64(t.P*t.P) }
 
 // RowNNZ returns the number of non-zeros in local row i.
-func (t *Tile) RowNNZ(i int) int { return t.rowNNZ[i] }
+func (t *Tile) RowNNZ(i int) int {
+	t.seal()
+	return int(t.rowPtr[i+1] - t.rowPtr[i])
+}
 
 // NonZeroRows returns the count of rows with at least one non-zero. This
 // drives both the dot-product count in Eq. (1) and the inner-pipeline
 // utilization discussed in §5.1.
-func (t *Tile) NonZeroRows() int { return t.nzRows }
+func (t *Tile) NonZeroRows() int {
+	t.seal()
+	return t.nzRows
+}
+
+// RowView returns local row i's non-zeros: ascending local column
+// indices and the matching values. The slices alias the tile's storage —
+// callers must not mutate them. This is the O(nnz) walk every format
+// encoder is built on.
+func (t *Tile) RowView(i int) (cols []int32, vals []float64) {
+	t.seal()
+	s, e := t.rowPtr[i], t.rowPtr[i+1]
+	return t.cols[s:e:e], t.vals[s:e:e]
+}
+
+// Dense materializes the tile as a fresh P*P row-major buffer, zeros
+// included — the escape hatch for consumers that genuinely need the p²
+// form (decode staging, golden cross-checks, tests). The steady-state
+// partition→encode path never calls it.
+func (t *Tile) Dense() []float64 { return t.DenseInto(nil) }
+
+// DenseInto is Dense writing into dst when cap(dst) >= P*P (allocating
+// otherwise), so verification loops can reuse one buffer across tiles.
+func (t *Tile) DenseInto(dst []float64) []float64 {
+	n := t.P * t.P
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	} else {
+		dst = dst[:n]
+		clear(dst)
+	}
+	if t.dense != nil {
+		copy(dst, t.dense)
+		return dst
+	}
+	for i := 0; i < t.P; i++ {
+		base := i * t.P
+		for k := t.rowPtr[i]; k < t.rowPtr[i+1]; k++ {
+			dst[base+int(t.cols[k])] = t.vals[k]
+		}
+	}
+	return dst
+}
 
 // Clone returns a deep copy of the tile.
 func (t *Tile) Clone() *Tile {
-	c := &Tile{P: t.P, Row: t.Row, Col: t.Col, Val: make([]float64, len(t.Val)),
-		nnz: t.nnz, rowNNZ: make([]int, t.P), nzRows: t.nzRows}
-	copy(c.Val, t.Val)
-	copy(c.rowNNZ, t.rowNNZ)
+	c := &Tile{P: t.P, Row: t.Row, Col: t.Col, nzRows: t.nzRows}
+	if t.dense != nil {
+		c.dense = append([]float64(nil), t.dense...)
+		return c
+	}
+	c.rowPtr = append([]int32(nil), t.rowPtr...)
+	c.cols = append([]int32(nil), t.cols...)
+	c.vals = append([]float64(nil), t.vals...)
 	return c
 }
 
 // EqualValues reports whether two tiles hold identical values (origin and
 // size included).
 func (t *Tile) EqualValues(o *Tile) bool {
-	if t.P != o.P || t.Row != o.Row || t.Col != o.Col || len(t.Val) != len(o.Val) {
+	if t.P != o.P || t.Row != o.Row || t.Col != o.Col {
 		return false
 	}
-	for i, v := range t.Val {
-		if v != o.Val[i] {
+	t.seal()
+	o.seal()
+	if len(t.vals) != len(o.vals) {
+		return false
+	}
+	for i := range t.rowPtr {
+		if t.rowPtr[i] != o.rowPtr[i] {
+			return false
+		}
+	}
+	for k := range t.cols {
+		if t.cols[k] != o.cols[k] || t.vals[k] != o.vals[k] {
 			return false
 		}
 	}
 	return true
 }
 
+// MemoryBytes returns the tile's resident storage (CSR spans or staging
+// buffer), excluding the struct header.
+func (t *Tile) MemoryBytes() int64 {
+	if t.dense != nil {
+		return int64(len(t.dense)) * 8
+	}
+	return int64(len(t.rowPtr))*4 + int64(len(t.cols))*4 + int64(len(t.vals))*8
+}
+
 // TileAt extracts the p×p tile of m anchored at (row, col), zero-padded
-// past the matrix boundary.
+// past the matrix boundary. The tile is built sealed, directly from the
+// CSR row spans — O(nnz(tile) + p·log nnz(row)).
 func TileAt(m *CSR, row, col, p int) *Tile {
-	t := NewTile(p, row, col)
+	rowPtr := make([]int32, p+1)
+	nzRows := 0
+	// Per-row span bounds within [col, col+p), found by binary search in
+	// the sorted column indices. starts holds indices into the parent
+	// matrix's CSR arrays, which can exceed int32 on huge matrices.
+	starts := make([]int, p)
 	for i := 0; i < p; i++ {
 		gi := row + i
+		rowPtr[i+1] = rowPtr[i]
 		if gi < 0 || gi >= m.Rows {
 			continue
 		}
-		for k := m.RowPtr[gi]; k < m.RowPtr[gi+1]; k++ {
-			if j := m.Col[k] - col; j >= 0 && j < p {
-				t.Set(i, j, m.Val[k])
-			}
+		lo, hi := m.RowPtr[gi], m.RowPtr[gi+1]
+		s := lowerBound(m.Col, lo, hi, col)
+		e := lowerBound(m.Col, s, hi, col+p)
+		starts[i] = s
+		rowPtr[i+1] += int32(e - s)
+		if e > s {
+			nzRows++
 		}
 	}
-	return t
+	nnz := int(rowPtr[p])
+	cols := make([]int32, nnz)
+	vals := make([]float64, nnz)
+	for i := 0; i < p; i++ {
+		n := int(rowPtr[i+1] - rowPtr[i])
+		if n == 0 {
+			continue
+		}
+		dst := int(rowPtr[i])
+		src := starts[i]
+		for k := 0; k < n; k++ {
+			cols[dst+k] = int32(m.Col[src+k] - col)
+			vals[dst+k] = m.Val[src+k]
+		}
+	}
+	t := newTileCSR(p, row, col, rowPtr, cols, vals, nzRows)
+	return &t
+}
+
+// lowerBound returns the first index in Col[lo:hi) whose value is >= x.
+func lowerBound(col []int, lo, hi, x int) int {
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if col[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
 // Partitioning groups a matrix's non-zero tiles together with the grid
-// geometry needed to reassemble or stream them.
+// geometry needed to reassemble or stream them. All tiles slice three
+// shared backing buffers (row pointers, columns, values), so the whole
+// partitioning's resident cost is O(nnz + tiles·p).
 type Partitioning struct {
 	P          int // partition edge length
 	GridRows   int // ceil(Rows/P)
@@ -124,14 +296,28 @@ type Partitioning struct {
 // pipeline never transfers.
 func (pt *Partitioning) ZeroTiles() int { return pt.TotalTiles - len(pt.Tiles) }
 
+// MemoryBytes returns the resident size of the partitioning's tile
+// storage (backing buffers plus tile headers).
+func (pt *Partitioning) MemoryBytes() int64 {
+	var b int64
+	for _, t := range pt.Tiles {
+		b += t.MemoryBytes() + tileHeaderBytes
+	}
+	return b
+}
+
+// tileHeaderBytes approximates one Tile struct plus its *Tile slot in the
+// Tiles slice.
+const tileHeaderBytes = 14*8 + 8
+
 // Partition extracts all non-zero p×p tiles of m in block-row-major order.
 // Boundary tiles are zero-padded. The tiles reassemble exactly to m (see
 // Assemble), a property the test suite checks by round-trip.
 //
-// The extraction is a single scan of the CSR arrays per block row: tiles
-// are bucketed by block column into a scratch array reused across block
-// rows, then drained in ascending block-column order — no per-block-row
-// map or sort.
+// The extraction is sparse-native: a counting pass sizes every tile's row
+// spans, then a scatter pass copies each CSR entry straight into shared
+// cols/vals backing buffers — no per-tile dense p² staging, no map, no
+// sort. Cost is O(nnz + tiles·p); resident memory is O(nnz + tiles·p).
 func Partition(m *CSR, p int) *Partitioning {
 	if p <= 0 {
 		panic(fmt.Sprintf("matrix: Partition with p=%d", p))
@@ -139,34 +325,110 @@ func Partition(m *CSR, p int) *Partitioning {
 	gr := (m.Rows + p - 1) / p
 	gc := (m.Cols + p - 1) / p
 	pt := &Partitioning{P: p, GridRows: gr, GridCols: gc, TotalTiles: gr * gc}
+	nnz := m.NNZ()
+	if nnz == 0 {
+		return pt
+	}
 
-	scratch := make([]*Tile, gc) // block column → pending tile, reused
+	// Pass 1: count the non-zero tiles so every backing buffer can be
+	// sized exactly. seen is epoch-marked per block row.
+	numTiles := 0
+	seen := make([]int32, gc)
+	for br := 0; br < gr; br++ {
+		rowEnd := min((br+1)*p, m.Rows)
+		for i := br * p; i < rowEnd; i++ {
+			for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+				if bc := m.Col[k] / p; seen[bc] != int32(br+1) {
+					seen[bc] = int32(br + 1)
+					numTiles++
+				}
+			}
+		}
+	}
+
+	// Shared backing buffers: every tile's spans slice into these.
+	rowPtrBuf := make([]int32, numTiles*(p+1))
+	colsBuf := make([]int32, nnz)
+	valsBuf := make([]float64, nnz)
+	tiles := make([]Tile, numTiles)
+	pt.Tiles = make([]*Tile, 0, numTiles)
+
+	// Per-block-row scratch, reused: per-(block column, local row) entry
+	// counts that become scatter cursors after the prefix sum, per-tile
+	// totals, and the block column → tile index map.
+	rowCount := make([]int32, gc*p)
+	tileNNZ := make([]int32, gc)
+	tileIdx := make([]int32, gc)
+
+	base := 0 // consumed cols/vals entries
+	ti := 0   // next tile index
 	for br := 0; br < gr; br++ {
 		rowEnd := min((br+1)*p, m.Rows)
 		minBC, maxBC := gc, -1
 		for i := br * p; i < rowEnd; i++ {
+			li := i - br*p
 			for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
 				bc := m.Col[k] / p
-				t := scratch[bc]
-				if t == nil {
-					t = NewTile(p, br*p, bc*p)
-					scratch[bc] = t
-					if bc < minBC {
-						minBC = bc
-					}
-					if bc > maxBC {
-						maxBC = bc
-					}
+				rowCount[bc*p+li]++
+				tileNNZ[bc]++
+				if bc < minBC {
+					minBC = bc
 				}
-				t.Set(i-br*p, m.Col[k]-bc*p, m.Val[k])
+				if bc > maxBC {
+					maxBC = bc
+				}
 			}
 		}
-		// Drain the touched block-column range in ascending order.
+		if maxBC < 0 {
+			continue
+		}
+		// Materialize this block row's tiles in ascending block-column
+		// order, prefix-summing the row counts into row pointers and
+		// leaving scatter cursors behind in rowCount.
 		for bc := minBC; bc <= maxBC; bc++ {
-			if scratch[bc] != nil {
-				pt.Tiles = append(pt.Tiles, scratch[bc])
-				scratch[bc] = nil
+			n := int(tileNNZ[bc])
+			if n == 0 {
+				continue
 			}
+			rp := rowPtrBuf[ti*(p+1) : (ti+1)*(p+1)]
+			running := int32(0)
+			nzRows := 0
+			for li := 0; li < p; li++ {
+				c := rowCount[bc*p+li]
+				if c > 0 {
+					nzRows++
+				}
+				rowCount[bc*p+li] = running
+				running += c
+				rp[li+1] = running
+			}
+			tiles[ti] = newTileCSR(p, br*p, bc*p, rp,
+				colsBuf[base:base+n:base+n], valsBuf[base:base+n:base+n], nzRows)
+			pt.Tiles = append(pt.Tiles, &tiles[ti])
+			tileIdx[bc] = int32(ti)
+			ti++
+			base += n
+		}
+		// Scatter pass: each entry lands at its row cursor, preserving
+		// the ascending column order of the CSR scan.
+		for i := br * p; i < rowEnd; i++ {
+			li := i - br*p
+			for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+				bc := m.Col[k] / p
+				t := &tiles[tileIdx[bc]]
+				cur := rowCount[bc*p+li]
+				t.cols[cur] = int32(m.Col[k] - bc*p)
+				t.vals[cur] = m.Val[k]
+				rowCount[bc*p+li] = cur + 1
+			}
+		}
+		// Reset the touched scratch for the next block row.
+		for bc := minBC; bc <= maxBC; bc++ {
+			if tileNNZ[bc] == 0 {
+				continue
+			}
+			tileNNZ[bc] = 0
+			clear(rowCount[bc*p : (bc+1)*p])
 		}
 	}
 	return pt
@@ -182,12 +444,11 @@ func (pt *Partitioning) Assemble(rows, cols int) *CSR {
 			if gi >= rows {
 				break
 			}
-			for j := 0; j < t.P; j++ {
-				gj := t.Col + j
-				if gj >= cols {
-					break
+			tc, tv := t.RowView(i)
+			for k := range tc {
+				if gj := t.Col + int(tc[k]); gj < cols {
+					b.Add(gi, gj, tv[k])
 				}
-				b.Add(gi, gj, t.Val[i*t.P+j])
 			}
 		}
 	}
