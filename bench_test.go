@@ -194,7 +194,11 @@ func BenchmarkAblationBCSRBlock(b *testing.B) {
 		b.Run("b"+strconv.Itoa(blk), func(b *testing.B) {
 			var sigma float64
 			for i := 0; i < b.N; i++ {
-				sigma = cfg.Sigma(formats.EncodeBCSRBlock(tile, blk))
+				var err error
+				sigma, err = cfg.Sigma(formats.EncodeBCSRBlock(tile, blk))
+				if err != nil {
+					b.Fatal(err)
+				}
 			}
 			b.ReportMetric(sigma, "sigma")
 		})

@@ -6,6 +6,7 @@
 //	copernicus list                      # available experiments
 //	copernicus all [flags]               # regenerate every figure/table
 //	copernicus fig4 [flags]              # regenerate one artifact
+//	copernicus sweep [flags]             # characterize one matrix: formats x partitions x backend
 //	copernicus advise [flags]            # recommend a format for a matrix
 //	copernicus workloads [flags]         # describe the workload suites
 //	copernicus bench -json [flags]       # time the engine hot paths, emit BENCH_sweep.json
@@ -16,6 +17,7 @@
 //	-scale N    workload dimension cap (default 1024; 256 ≈ seconds)
 //	-csv        emit CSV instead of aligned tables
 //	-p N        partition size for advise (default 16)
+//	-backend B  costing backend for sweep/advise/bench: analytic|native
 //	-kind K     matrix kind for advise: random|band|graph|stencil|circuit|ml
 //	-n N        matrix dimension for advise (default 512)
 //	-density D  density for random/ml matrices (default 0.05)
@@ -30,6 +32,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -67,6 +70,9 @@ func run(args []string) error {
 	tiles := fs.Int("tiles", 12, "maximum tiles to render (trace)")
 	jsonOut := fs.Bool("json", false, "write bench results as JSON (bench)")
 	iters := fs.Int("iters", 5, "timed iterations per benchmark (bench)")
+	backendID := fs.String("backend", "analytic", "costing backend for sweep/advise/bench: "+strings.Join(copernicus.BackendIDs(), "|"))
+	formatsList := fs.String("formats", "", "comma-separated formats (sweep; default core set)")
+	psList := fs.String("ps", "8,16,32", "comma-separated partition sizes (sweep)")
 	addr := fs.String("addr", "localhost:8459", "listen address (serve)")
 	workers := fs.Int("workers", 0, "sweep worker-pool size, 0 = GOMAXPROCS (serve)")
 	cacheEntries := fs.Int("cache", 256, "sweep result cache entries (serve)")
@@ -90,12 +96,18 @@ func run(args []string) error {
 		return runExperiments(copernicus.ExtExperiments(), *scale, *csv, *outDir)
 	case "all":
 		return runExperiments(copernicus.Experiments(), *scale, *csv, *outDir)
+	case "sweep":
+		m, err := load()
+		if err != nil {
+			return err
+		}
+		return sweepCmd(m, *kind, *backendID, *formatsList, *psList, *csv)
 	case "advise":
 		m, err := load()
 		if err != nil {
 			return err
 		}
-		return advise(m, *kind, *p)
+		return advise(m, *kind, *p, *backendID)
 	case "stats":
 		m, err := load()
 		if err != nil {
@@ -124,7 +136,7 @@ func run(args []string) error {
 		}
 		return trace(m, *format, *p, *tiles)
 	case "bench":
-		return benchCmd(*scale, *iters, *jsonOut, *out)
+		return benchCmd(*scale, *iters, *jsonOut, *out, *backendID)
 	case "serve":
 		return serve(*addr, *scale, *workers, *cacheEntries)
 	case "workloads":
@@ -144,7 +156,7 @@ func run(args []string) error {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: copernicus <list|all|advise|stats|convert|scaling|bench|serve|workloads|fig3..fig14|table2> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: copernicus <list|all|sweep|advise|stats|convert|scaling|bench|serve|workloads|fig3..fig14|table2> [flags]`)
 }
 
 // benchResult is one timed benchmark in the BENCH_sweep.json record.
@@ -184,9 +196,15 @@ func measure(name string, iters, points int, fn func() error) (benchResult, erro
 }
 
 // benchRecord is the perf-trajectory artifact emitted by `bench -json`.
+// Backend, GoVersion and GOMAXPROCS pin the measurement environment so
+// the trajectory stays comparable across machines, toolchains and
+// costing backends.
 type benchRecord struct {
 	Scale      int           `json:"scale"`
 	Workers    int           `json:"workers"`
+	Backend    string        `json:"backend"`
+	GoVersion  string        `json:"go_version"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
 	GOOS       string        `json:"goos"`
 	GOARCH     string        `json:"goarch"`
 	CPUs       int           `json:"cpus"`
@@ -197,30 +215,44 @@ type benchRecord struct {
 // accelerates — a full characterization sweep and an iterative CG solve
 // through the accelerator backend — and optionally records them to
 // BENCH_sweep.json so the performance trajectory is tracked per commit.
-func benchCmd(scale, iters int, jsonOut bool, out string) error {
+func benchCmd(scale, iters int, jsonOut bool, out, backendID string) error {
 	if iters < 1 {
 		iters = 1
 	}
 	if scale < 16 {
 		return fmt.Errorf("bench: -scale must be >= 16 (got %d)", scale)
 	}
+	bk, err := copernicus.BackendFor(backendID)
+	if err != nil {
+		return err
+	}
 	// Sweep benchmark: SuiteSparse suite × core formats × all partition
-	// sizes on a long-lived engine (plan reuse reflects steady state).
+	// sizes on a long-lived engine (plan reuse reflects steady state),
+	// costed by the selected backend.
 	e := copernicus.NewEngine()
+	// Non-parallelizable backends force the sweep serial; the record pins
+	// the concurrency the sweep actually ran with, not the pool setting.
+	workers := e.Workers()
+	if !bk.Parallelizable() {
+		workers = 1
+	}
 	rec := benchRecord{
-		Scale:   scale,
-		GOOS:    runtime.GOOS,
-		GOARCH:  runtime.GOARCH,
-		CPUs:    runtime.NumCPU(),
-		Workers: e.Workers(),
+		Scale:      scale,
+		Backend:    bk.ID(),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
+		Workers:    workers,
 	}
 	ws := copernicus.SuiteSparseWorkloads(copernicus.WorkloadConfig{Scale: scale, RandomDim: scale, BandDim: scale})
 	points := len(ws) * len(copernicus.CoreFormats()) * len(copernicus.PartitionSizes())
-	if _, err := e.Sweep(ws, copernicus.CoreFormats(), copernicus.PartitionSizes()); err != nil {
+	if _, err := e.SweepWith(bk, ws, copernicus.CoreFormats(), copernicus.PartitionSizes()); err != nil {
 		return err
 	}
 	res, err := measure("sweep_suitesparse_core_formats", iters, points, func() error {
-		_, err := e.Sweep(ws, copernicus.CoreFormats(), copernicus.PartitionSizes())
+		_, err := e.SweepWith(bk, ws, copernicus.CoreFormats(), copernicus.PartitionSizes())
 		return err
 	})
 	if err != nil {
@@ -458,14 +490,23 @@ func writeArtifact(dir, id string, t copernicus.ExperimentTable) error {
 	return csvf.Close()
 }
 
-func advise(m *copernicus.Matrix, kind string, p int) error {
+func advise(m *copernicus.Matrix, kind string, p int, backendID string) error {
+	b, err := copernicus.BackendFor(backendID)
+	if err != nil {
+		return err
+	}
 	class := copernicus.Classify(m)
 	sf, alts, why := copernicus.StaticAdvice(class)
 	fmt.Printf("matrix: %s, %dx%d, nnz=%d, density=%.4g, class=%s\n",
 		kind, m.Rows, m.Cols, m.NNZ(), m.Density(), class)
 	fmt.Printf("paper §8 rule of thumb: %v (alternatives %v)\n  %s\n", sf, alts, why)
 
-	rec, err := copernicus.NewEngine().Recommend(m, p, nil, copernicus.BalancedObjective())
+	// The analytic default keeps this artifact byte-identical to the
+	// pre-backend CLI; other backends announce themselves.
+	if b.ID() != "analytic" {
+		fmt.Printf("backend: %s (latency axis is measured host wall time)\n", b.ID())
+	}
+	rec, err := copernicus.NewEngine().RecommendWith(b, m, p, nil, copernicus.BalancedObjective())
 	if err != nil {
 		return err
 	}
@@ -475,6 +516,71 @@ func advise(m *copernicus.Matrix, kind string, p int) error {
 		fmt.Printf("  %d. %-7v time=%.3es  sigma=%6.2f  balance=%5.2f  bw_util=%.3f  dyn=%4.0fmW  bram=%d\n",
 			i+1, rec.Ranking[i], r.Seconds, r.Sigma, r.BalanceRatio,
 			r.BandwidthUtil, r.Synth.DynamicW*1000, r.Synth.BRAM18K)
+	}
+	return nil
+}
+
+// sweepCmd characterizes one matrix across formats × partition sizes
+// under the selected backend — the CLI face of the backend seam. With
+// -backend native the seconds/ns-per-nnz columns are measured host-CPU
+// wall time of the warm streaming SpMV; with the default analytic
+// backend they are the paper's modelled accelerator time.
+func sweepCmd(m *copernicus.Matrix, kind, backendID, formatsList, psList string, csv bool) error {
+	b, err := copernicus.BackendFor(backendID)
+	if err != nil {
+		return err
+	}
+	kinds := copernicus.CoreFormats()
+	if formatsList != "" {
+		kinds = kinds[:0]
+		for _, name := range strings.Split(formatsList, ",") {
+			k, err := parseFormat(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			kinds = append(kinds, k)
+		}
+	}
+	var ps []int
+	for _, tok := range strings.Split(psList, ",") {
+		p, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || p < 1 {
+			return fmt.Errorf("sweep: bad partition size %q", tok)
+		}
+		ps = append(ps, p)
+	}
+
+	e := copernicus.NewEngine()
+	var rs []copernicus.Result
+	for _, p := range ps {
+		sub, err := e.SweepFormatsWith(b, "matrix", m, p, kinds)
+		if err != nil {
+			return err
+		}
+		rs = append(rs, sub...)
+	}
+
+	if csv {
+		fmt.Println("backend,format,p,seconds,ns_per_nnz,sigma,balance,bw_util,measured")
+		for _, r := range rs {
+			fmt.Printf("%s,%s,%d,%.6e,%.3f,%.3f,%.3f,%.4f,%t\n",
+				r.Backend, r.Format, r.P, r.Seconds, r.NsPerNNZ, r.Sigma,
+				r.BalanceRatio, r.BandwidthUtil, r.Measured)
+		}
+		return nil
+	}
+	fmt.Printf("matrix: %s, %dx%d, nnz=%d, density=%.4g\n",
+		kind, m.Rows, m.Cols, m.NNZ(), m.Density())
+	fmt.Printf("backend: %s", b.ID())
+	if b.ID() == "native" {
+		fmt.Printf(" (min of %d timed runs, GOMAXPROCS=%d; host ns, not accelerator cycles)",
+			rs[0].MeasuredRuns, rs[0].Threads)
+	}
+	fmt.Println()
+	fmt.Println("format   p    seconds     ns/nnz      sigma    balance  bw_util")
+	for _, r := range rs {
+		fmt.Printf("%-7v  %-3d  %.3e  %10.2f  %7.2f  %7.2f  %7.4f\n",
+			r.Format, r.P, r.Seconds, r.NsPerNNZ, r.Sigma, r.BalanceRatio, r.BandwidthUtil)
 	}
 	return nil
 }

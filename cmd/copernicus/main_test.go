@@ -63,6 +63,37 @@ func TestRunAdviseKinds(t *testing.T) {
 	}
 }
 
+func TestRunSweepBackends(t *testing.T) {
+	silence(t)
+	for _, backendName := range []string{"analytic", "native"} {
+		if err := run([]string{"sweep", "-kind", "random", "-n", "128", "-backend", backendName, "-ps", "8"}); err != nil {
+			t.Fatalf("%s: %v", backendName, err)
+		}
+	}
+	if err := run([]string{"sweep", "-kind", "band", "-n", "64", "-formats", "CSR,COO", "-ps", "8,16", "-csv"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"sweep", "-kind", "random", "-n", "64", "-backend", "nope"}); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+	if err := run([]string{"sweep", "-kind", "random", "-n", "64", "-formats", "NOPE"}); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+	if err := run([]string{"sweep", "-kind", "random", "-n", "64", "-ps", "zero"}); err == nil {
+		t.Fatal("bad partition list accepted")
+	}
+}
+
+func TestRunAdviseNativeBackend(t *testing.T) {
+	silence(t)
+	if err := run([]string{"advise", "-kind", "random", "-n", "128", "-backend", "native"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"advise", "-kind", "random", "-n", "64", "-backend", "nope"}); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+}
+
 func TestRunStats(t *testing.T) {
 	silence(t)
 	if err := run([]string{"stats", "-kind", "band", "-n", "128", "-width", "4"}); err != nil {

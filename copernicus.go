@@ -33,6 +33,7 @@ import (
 	"io"
 	"os"
 
+	"copernicus/internal/backend"
 	"copernicus/internal/core"
 	"copernicus/internal/formats"
 	"copernicus/internal/gen"
@@ -171,6 +172,33 @@ type HardwareConfig = hlsim.Config
 
 // SynthReport is the resource/power estimate of one decompressor variant.
 type SynthReport = synth.Report
+
+// Backend costs characterization points: the analytic HLS cycle model
+// (the paper's instrument) or the measured native-CPU backend, which
+// times the warm streaming SpMV on the host. Both evaluate the same
+// encode-once plans — only the costing differs — so Engine methods with
+// a With suffix (CharacterizeWith, SweepWith, SweepFormatsWith,
+// RecommendWith) accept one; nil selects the analytic default.
+type Backend = backend.Backend
+
+// BackendMeasurement is one costed evaluation of a (plan, format) point.
+type BackendMeasurement = backend.Measurement
+
+// AnalyticBackend returns the analytic cycle-model backend — bit-identical
+// to the backend-free entry points.
+func AnalyticBackend() Backend { return backend.Analytic{} }
+
+// NativeBackend returns the measured host-CPU backend: min-of-runs wall
+// time of the warm streaming SpMV (runs <= 0 selects the default of
+// backend.DefaultRuns samples).
+func NativeBackend(runs int) Backend { return &backend.Native{Runs: runs} }
+
+// BackendFor resolves a backend by ID ("analytic", "native"); the empty
+// string selects the analytic default.
+func BackendFor(id string) (Backend, error) { return backend.For(id) }
+
+// BackendIDs lists the selectable backend identifiers.
+func BackendIDs() []string { return backend.IDs() }
 
 // NewEngine returns an engine with the calibrated default hardware model
 // (250 MHz, 64-bit dual AXI streamlines; see internal/hlsim).

@@ -247,7 +247,7 @@ func TestRecommendDesignFacade(t *testing.T) {
 
 func TestExtExperimentsFacade(t *testing.T) {
 	ids := copernicus.ExtExperiments()
-	if len(ids) != 7 {
+	if len(ids) != 8 {
 		t.Fatalf("ext experiments = %d", len(ids))
 	}
 	tab, err := copernicus.RunExperiment(copernicus.NewSmallReportOptions(), ids[0])

@@ -1,0 +1,30 @@
+package backend
+
+import (
+	"copernicus/internal/formats"
+	"copernicus/internal/hlsim"
+)
+
+// Analytic is the paper's instrument: the deterministic HLS-derived cycle
+// model of internal/hlsim, costed at the plan's configured clock. It is
+// bit-identical to the pre-backend characterization path — Evaluate is
+// exactly Plan.Run followed by Result.Seconds, with no arithmetic of its
+// own — so every regenerated artifact matches byte for byte (the golden
+// test in internal/core enforces this).
+type Analytic struct{}
+
+// ID returns "analytic".
+func (Analytic) ID() string { return "analytic" }
+
+// Parallelizable is true: the model is a pure function of its inputs.
+func (Analytic) Parallelizable() bool { return true }
+
+// Evaluate runs the point through the modelled accelerator and reports
+// the modelled seconds.
+func (Analytic) Evaluate(pl *hlsim.Plan, k formats.Kind, x []float64) (Measurement, error) {
+	run, err := pl.Run(k, x)
+	if err != nil {
+		return Measurement{}, err
+	}
+	return Measurement{Run: run, Seconds: run.Seconds()}, nil
+}

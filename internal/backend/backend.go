@@ -1,0 +1,105 @@
+// Package backend is the characterization seam of Copernicus: it
+// separates *what* a (workload, format, partition size) point costs from
+// *how* that cost is obtained. The paper's primary instrument — the
+// analytic HLS cycle model of internal/hlsim — becomes one Backend among
+// possibly many; a second, Native, measures real wall time of the warm
+// streaming SpMV on the host CPU. Because both backends evaluate the same
+// encode-once hlsim.Plan, everything upstream of costing (partitioning,
+// encoding, the decode cross-check, the functional SpMV that is verified
+// against the software reference) is shared bit for bit, and only the
+// cost axis differs — which is exactly what makes model-vs-measured
+// cross-validation meaningful.
+//
+// Plans deliberately stay backend-independent: a Plan holds the sparse
+// partitioning, the per-format encodings, and the analytic cycle tables,
+// all of which every backend reuses. Keying plan caches by backend would
+// only duplicate encode work; backend identity instead keys *results*
+// (core.Result.Backend, the service result cache, report artifacts).
+package backend
+
+import (
+	"fmt"
+	"sort"
+
+	"copernicus/internal/formats"
+	"copernicus/internal/hlsim"
+)
+
+// Measurement is one costed evaluation of a (plan, format) point.
+type Measurement struct {
+	// Run carries the functional SpMV output (verified upstream against
+	// the software reference) and the plan's cached analytic cycle
+	// totals. Structural metrics — σ, balance, per-tile cycle means,
+	// utilizations — derive from Run under every backend: they describe
+	// the format and the modelled hardware, not the costing method.
+	Run *hlsim.Result
+
+	// Seconds is the backend's cost of one SpMV of the point: modelled
+	// cycles at the configured clock for Analytic, measured wall time of
+	// the warm streaming SpMV for Native.
+	Seconds float64
+
+	// Measured is true when Seconds is a wall-clock measurement rather
+	// than a model prediction.
+	Measured bool
+
+	// Runs and Threads record the measurement methodology for measured
+	// backends: the number of timed repetitions (Seconds is their
+	// minimum) and GOMAXPROCS at measurement time. Zero for modelled
+	// backends.
+	Runs    int
+	Threads int
+}
+
+// Backend costs characterization points on prepared streaming plans.
+// Implementations must be safe for concurrent use.
+type Backend interface {
+	// ID is the backend's short stable identifier ("analytic",
+	// "native"). It keys result caches, names CLI flags and service
+	// query parameters, and is recorded in every Result and benchmark
+	// artifact, so it must never change for an existing backend.
+	ID() string
+
+	// Evaluate costs one (plan, format) point, multiplying by x. The
+	// plan's encode-once state is shared across backends; Evaluate pays
+	// only per-evaluation work (the functional dot products, plus timing
+	// for measured backends).
+	Evaluate(pl *hlsim.Plan, k formats.Kind, x []float64) (Measurement, error)
+
+	// Parallelizable reports whether concurrent Evaluate calls preserve
+	// result quality. The analytic model is pure and parallelizes
+	// freely; wall-clock measurement under contention is noise, so the
+	// engine serializes sweep groups when this is false.
+	Parallelizable() bool
+}
+
+// registry holds the named backends selectable from CLIs and services.
+// Construction is cheap and stateless, so For returns fresh values.
+var registry = map[string]func() Backend{
+	"analytic": func() Backend { return Analytic{} },
+	"native":   func() Backend { return &Native{} },
+}
+
+// For resolves a backend by its ID. The empty string selects the
+// analytic default, preserving pre-backend behavior everywhere a
+// backend is optional.
+func For(id string) (Backend, error) {
+	if id == "" {
+		id = "analytic"
+	}
+	mk, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("backend: unknown backend %q (want one of %v)", id, IDs())
+	}
+	return mk(), nil
+}
+
+// IDs lists the selectable backend identifiers, sorted.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,138 @@
+package backend
+
+import (
+	"math"
+	"testing"
+
+	"copernicus/internal/formats"
+	"copernicus/internal/gen"
+	"copernicus/internal/hlsim"
+)
+
+func testPlan(t *testing.T) *hlsim.Plan {
+	t.Helper()
+	m := gen.Random(128, 0.05, 11)
+	pl, err := hlsim.NewPlan(hlsim.Default(), m, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+func ones(n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 1
+	}
+	return x
+}
+
+// TestAnalyticMatchesPlanRun: the analytic backend is a pass-through over
+// Plan.Run — same seconds, same cycle totals, same functional output.
+func TestAnalyticMatchesPlanRun(t *testing.T) {
+	pl := testPlan(t)
+	x := ones(pl.Matrix().Cols)
+	for _, k := range formats.Core() {
+		want, err := pl.Run(k, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		meas, err := Analytic{}.Evaluate(pl, k, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if meas.Measured {
+			t.Fatalf("%v: analytic measurement marked Measured", k)
+		}
+		if meas.Seconds != want.Seconds() {
+			t.Fatalf("%v: analytic seconds %v != plan seconds %v", k, meas.Seconds, want.Seconds())
+		}
+		if meas.Run.PipelinedCycles != want.PipelinedCycles || meas.Run.MemCycles != want.MemCycles {
+			t.Fatalf("%v: analytic cycle totals diverge from Plan.Run", k)
+		}
+		for i := range want.Y {
+			if meas.Run.Y[i] != want.Y[i] {
+				t.Fatalf("%v: functional output diverges at row %d", k, i)
+			}
+		}
+	}
+}
+
+// TestNativeMeasures: the native backend produces a positive wall-time
+// measurement with its methodology recorded, and the functional output
+// still equals the software reference.
+func TestNativeMeasures(t *testing.T) {
+	pl := testPlan(t)
+	x := ones(pl.Matrix().Cols)
+	ref := pl.Matrix().MulVec(x)
+	n := &Native{Runs: 3}
+	meas, err := n.Evaluate(pl, formats.CSR, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !meas.Measured {
+		t.Fatal("native measurement not marked Measured")
+	}
+	if meas.Seconds <= 0 {
+		t.Fatalf("native seconds %v, want > 0", meas.Seconds)
+	}
+	if meas.Runs != 3 {
+		t.Fatalf("native runs %d, want 3", meas.Runs)
+	}
+	if meas.Threads < 1 {
+		t.Fatalf("native threads %d, want >= 1", meas.Threads)
+	}
+	for i := range ref {
+		if math.Abs(meas.Run.Y[i]-ref[i]) > 1e-9 {
+			t.Fatalf("native functional output diverges at row %d: %g vs %g", i, meas.Run.Y[i], ref[i])
+		}
+	}
+}
+
+// TestNativeDefaultRuns: zero Runs selects the documented default.
+func TestNativeDefaultRuns(t *testing.T) {
+	pl := testPlan(t)
+	meas, err := (&Native{}).Evaluate(pl, formats.COO, ones(pl.Matrix().Cols))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meas.Runs != DefaultRuns {
+		t.Fatalf("default runs %d, want %d", meas.Runs, DefaultRuns)
+	}
+}
+
+// TestNativePropagatesPlanErrors: an unknown format kind is an error from
+// the native backend too, not a panic.
+func TestNativePropagatesPlanErrors(t *testing.T) {
+	pl := testPlan(t)
+	if _, err := (&Native{}).Evaluate(pl, formats.Kind(99), ones(pl.Matrix().Cols)); err == nil {
+		t.Fatal("native accepted an unknown format kind")
+	}
+}
+
+// TestFor: the registry resolves IDs, defaults the empty string to
+// analytic, and rejects unknown names.
+func TestFor(t *testing.T) {
+	for id, parallel := range map[string]bool{"analytic": true, "native": false, "": true} {
+		b, err := For(id)
+		if err != nil {
+			t.Fatalf("For(%q): %v", id, err)
+		}
+		if id != "" && b.ID() != id {
+			t.Fatalf("For(%q).ID() = %q", id, b.ID())
+		}
+		if b.Parallelizable() != parallel {
+			t.Fatalf("For(%q).Parallelizable() = %v", id, b.Parallelizable())
+		}
+	}
+	if b, err := For(""); err != nil || b.ID() != "analytic" {
+		t.Fatalf("For(\"\") = %v, %v; want analytic", b, err)
+	}
+	if _, err := For("roofline"); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+	ids := IDs()
+	if len(ids) != 2 || ids[0] != "analytic" || ids[1] != "native" {
+		t.Fatalf("IDs() = %v", ids)
+	}
+}

@@ -1,0 +1,116 @@
+package backend
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"copernicus/internal/formats"
+	"copernicus/internal/hlsim"
+)
+
+// Native measures what the analytic backend predicts: the real wall time
+// of the warm streaming SpMV (Plan.RunInto) on the host CPU. It reuses
+// the encode-once plan, so partitioning, encoding, and the decode
+// cross-check are identical to the analytic path and excluded from the
+// timing — the measurement covers exactly the per-iteration work the
+// model prices.
+//
+// Methodology: one untimed warm-up call triggers encode/verify and page
+// in the functional arrays; the timed phase then takes Runs samples and
+// reports their minimum (the least-disturbed observation of a
+// deterministic computation). Samples shorter than minSample are batched
+// — several RunInto calls per timer read — so clock granularity cannot
+// dominate small matrices. Threads records GOMAXPROCS at measurement
+// time; RunInto itself is single-threaded, so the figure documents the
+// measurement environment rather than a parallel speedup.
+//
+// The absolute numbers are host CPU nanoseconds, not accelerator cycles:
+// they are comparable across formats on one machine (rank orderings,
+// ns-per-nnz trends), not to the modelled FPGA latencies.
+type Native struct {
+	// Runs is the number of timed samples; the minimum is reported.
+	// Zero or negative selects DefaultRuns.
+	Runs int
+}
+
+// DefaultRuns is the min-of-k sample count used when Native.Runs is
+// unset.
+const DefaultRuns = 5
+
+// minSample is the shortest timed sample the measurement accepts before
+// batching multiple SpMVs per timer read.
+const minSample = 100 * time.Microsecond
+
+// maxBatch bounds the batching so calibration cannot run away on
+// degenerate (near-empty) matrices.
+const maxBatch = 4096
+
+// measureMu serializes the timed region across every Native value in the
+// process. Wall-clock samples contend for the same cores no matter which
+// instance takes them — Parallelizable() already makes Engine sweeps
+// serial, but independent callers (concurrent service requests resolve a
+// fresh Native each) would otherwise time each other's load. One
+// measurement at a time is a property of the host, not of an instance.
+var measureMu sync.Mutex
+
+// ID returns "native".
+func (*Native) ID() string { return "native" }
+
+// Parallelizable is false: concurrent wall-clock samples contend for
+// cores and inflate each other, so sweeps serialize native points.
+func (*Native) Parallelizable() bool { return false }
+
+// Evaluate measures the warm SpMV of one (plan, format) point.
+func (n *Native) Evaluate(pl *hlsim.Plan, k formats.Kind, x []float64) (Measurement, error) {
+	r := new(hlsim.Result)
+	// Warm-up: encode, decode-verify, functional arrays, and the output
+	// buffer allocation all happen here, outside the timed region. The
+	// warm RunInto path is allocation-free, so the samples below time
+	// pure SpMV work.
+	if err := pl.RunInto(k, x, r); err != nil {
+		return Measurement{}, err
+	}
+
+	measureMu.Lock()
+	defer measureMu.Unlock()
+
+	// Calibrate the batch size so one sample is long enough to trust.
+	batch := 1
+	for batch < maxBatch {
+		start := time.Now()
+		for i := 0; i < batch; i++ {
+			if err := pl.RunInto(k, x, r); err != nil {
+				return Measurement{}, err
+			}
+		}
+		if time.Since(start) >= minSample {
+			break
+		}
+		batch *= 2
+	}
+
+	runs := n.Runs
+	if runs <= 0 {
+		runs = DefaultRuns
+	}
+	best := time.Duration(1<<63 - 1)
+	for s := 0; s < runs; s++ {
+		start := time.Now()
+		for i := 0; i < batch; i++ {
+			if err := pl.RunInto(k, x, r); err != nil {
+				return Measurement{}, err
+			}
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return Measurement{
+		Run:      r,
+		Seconds:  best.Seconds() / float64(batch),
+		Measured: true,
+		Runs:     runs,
+		Threads:  runtime.GOMAXPROCS(0),
+	}, nil
+}

@@ -15,6 +15,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"copernicus/internal/backend"
 	"copernicus/internal/formats"
 	"copernicus/internal/hlsim"
 	"copernicus/internal/matrix"
@@ -29,6 +30,22 @@ type Result struct {
 	Format   formats.Kind
 	P        int
 
+	// Backend identifies the backend that costed this point ("analytic"
+	// for the paper's cycle model, "native" for host-CPU measurement);
+	// result caches key on it. Measured is true when Seconds (and the
+	// quantities derived from it: throughput, energy, ns-per-nnz) is a
+	// wall-clock measurement rather than a model prediction. The
+	// structural metrics (σ, balance, cycle means, utilizations) always
+	// come from the analytic model — they describe the format on the
+	// modelled hardware, not the costing method.
+	Backend  string
+	Measured bool
+	// MeasuredRuns and Threads record a measured backend's methodology:
+	// timed repetitions (Seconds is their minimum) and GOMAXPROCS at
+	// measurement time. Zero for modelled results.
+	MeasuredRuns int
+	Threads      int
+
 	// Sigma is the decompression latency overhead of Eq. (1), aggregated
 	// over all non-zero partitions (dense ≡ 1).
 	Sigma float64
@@ -38,10 +55,15 @@ type Result struct {
 	// plotted in Fig. 8.
 	MeanMemCycles     float64
 	MeanComputeCycles float64
-	// Seconds is the modelled end-to-end time; ThroughputBps is
-	// processed bytes (data + metadata) per second.
+	// Seconds is the point's cost under the backend (modelled end-to-end
+	// time for analytic, measured wall time for native); ThroughputBps is
+	// processed bytes (data + metadata) per second of it. NsPerNNZ is
+	// Seconds over the stored non-zeros in nanoseconds — the
+	// backend-neutral per-element cost the model-vs-measured comparison
+	// plots.
 	Seconds       float64
 	ThroughputBps float64
+	NsPerNNZ      float64
 	// BandwidthUtil is useful bytes over transmitted bytes.
 	BandwidthUtil float64
 	// DotEngineUtil and InnerPipelineUtil are the §5.1 run-time
@@ -283,15 +305,28 @@ func testVector(n int) []float64 {
 	return x
 }
 
+// defaultBackend resolves a nil backend to the analytic cycle model, the
+// paper's instrument and the pre-backend behavior of every entry point.
+func defaultBackend(b backend.Backend) backend.Backend {
+	if b == nil {
+		return backend.Analytic{}
+	}
+	return b
+}
+
 // characterizeOn runs one format point on a prepared plan against a
 // precomputed operand vector and software reference — the shared inner
-// step of Characterize and Sweep.
-func (e *Engine) characterizeOn(name string, pl *hlsim.Plan, k formats.Kind, x, ref []float64) (Result, error) {
+// step of Characterize and Sweep. The backend supplies the cost (Seconds
+// and everything derived from it); the structural metrics come from the
+// plan's analytic cycle totals either way, and the functional output is
+// verified against the reference under every backend.
+func (e *Engine) characterizeOn(b backend.Backend, name string, pl *hlsim.Plan, k formats.Kind, x, ref []float64) (Result, error) {
 	p := pl.P()
-	run, err := pl.Run(k, x)
+	meas, err := b.Evaluate(pl, k, x)
 	if err != nil {
 		return Result{}, fmt.Errorf("core: %s/%v/p=%d: %w", name, k, p, err)
 	}
+	run := meas.Run
 	for i := range ref {
 		if math.Abs(run.Y[i]-ref[i]) > e.verifyTol {
 			return Result{}, fmt.Errorf("core: %s/%v/p=%d: functional mismatch at row %d: %g vs %g",
@@ -299,18 +334,38 @@ func (e *Engine) characterizeOn(name string, pl *hlsim.Plan, k formats.Kind, x, 
 		}
 	}
 	rep := synth.Estimate(k, p)
+	// For the analytic backend these are exactly the pre-backend
+	// expressions (meas.Seconds is run.Seconds()), so results stay
+	// bit-identical; measured backends recompute the derived rates from
+	// their own seconds.
+	tput := run.Throughput()
+	if meas.Measured {
+		tput = 0
+		if meas.Seconds > 0 {
+			tput = float64(run.Footprint.TotalBytes()) / meas.Seconds
+		}
+	}
+	var nsPerNNZ float64
+	if run.NNZ > 0 {
+		nsPerNNZ = meas.Seconds * 1e9 / float64(run.NNZ)
+	}
 	return Result{
 		Workload:          name,
 		Format:            k,
 		P:                 p,
-		DynamicEnergyJ:    rep.DynamicW * run.Seconds(),
-		StaticEnergyJ:     rep.StaticW * run.Seconds(),
+		Backend:           b.ID(),
+		Measured:          meas.Measured,
+		MeasuredRuns:      meas.Runs,
+		Threads:           meas.Threads,
+		DynamicEnergyJ:    rep.DynamicW * meas.Seconds,
+		StaticEnergyJ:     rep.StaticW * meas.Seconds,
 		Sigma:             run.Sigma(),
 		BalanceRatio:      run.BalanceRatio(),
 		MeanMemCycles:     run.MeanMemCycles(),
 		MeanComputeCycles: run.MeanComputeCycles(),
-		Seconds:           run.Seconds(),
-		ThroughputBps:     run.Throughput(),
+		Seconds:           meas.Seconds,
+		ThroughputBps:     tput,
+		NsPerNNZ:          nsPerNNZ,
 		BandwidthUtil:     run.BandwidthUtilization(),
 		DotEngineUtil:     run.DotEngineUtilization(),
 		InnerPipelineUtil: run.InnerPipelineUtilization(),
@@ -321,22 +376,39 @@ func (e *Engine) characterizeOn(name string, pl *hlsim.Plan, k formats.Kind, x, 
 	}, nil
 }
 
-// Characterize runs one (matrix, format, partition size) point and
-// verifies the simulated SpMV output against the software reference; a
-// mismatch is a hard error, never a silently wrong metric.
+// Characterize runs one (matrix, format, partition size) point under the
+// analytic cycle model and verifies the simulated SpMV output against the
+// software reference; a mismatch is a hard error, never a silently wrong
+// metric.
 func (e *Engine) Characterize(name string, m *matrix.CSR, k formats.Kind, p int) (Result, error) {
+	return e.CharacterizeWith(nil, name, m, k, p)
+}
+
+// CharacterizeWith is Characterize under an explicit backend (nil selects
+// the analytic default). The streaming plan is shared across backends —
+// only the costing differs.
+func (e *Engine) CharacterizeWith(b backend.Backend, name string, m *matrix.CSR, k formats.Kind, p int) (Result, error) {
+	b = defaultBackend(b)
 	pl, err := e.plan(m, p)
 	if err != nil {
 		return Result{}, fmt.Errorf("core: %s/%v/p=%d: %w", name, k, p, err)
 	}
 	x := testVector(m.Cols)
-	return e.characterizeOn(name, pl, k, x, m.MulVec(x))
+	return e.characterizeOn(b, name, pl, k, x, m.MulVec(x))
 }
 
 // SweepFormats characterizes one matrix across formats at one partition
-// size, in the given format order. The partitioning, operand vector, and
-// reference MulVec are shared across all formats of the point.
+// size under the analytic cycle model, in the given format order. The
+// partitioning, operand vector, and reference MulVec are shared across
+// all formats of the point.
 func (e *Engine) SweepFormats(name string, m *matrix.CSR, p int, kinds []formats.Kind) ([]Result, error) {
+	return e.SweepFormatsWith(nil, name, m, p, kinds)
+}
+
+// SweepFormatsWith is SweepFormats under an explicit backend (nil selects
+// the analytic default).
+func (e *Engine) SweepFormatsWith(b backend.Backend, name string, m *matrix.CSR, p int, kinds []formats.Kind) ([]Result, error) {
+	b = defaultBackend(b)
 	pl, err := e.plan(m, p)
 	if err != nil {
 		return nil, fmt.Errorf("core: %s/p=%d: %w", name, p, err)
@@ -345,7 +417,7 @@ func (e *Engine) SweepFormats(name string, m *matrix.CSR, p int, kinds []formats
 	ref := m.MulVec(x)
 	out := make([]Result, 0, len(kinds))
 	for _, k := range kinds {
-		r, err := e.characterizeOn(name, pl, k, x, ref)
+		r, err := e.characterizeOn(b, name, pl, k, x, ref)
 		if err != nil {
 			return nil, err
 		}
@@ -363,10 +435,23 @@ func (e *Engine) SweepFormats(name string, m *matrix.CSR, p int, kinds []formats
 // results land at their precomputed indices and every group is an
 // independent deterministic computation.
 func (e *Engine) Sweep(ws []workloads.Workload, kinds []formats.Kind, ps []int) ([]Result, error) {
+	return e.SweepWith(nil, ws, kinds, ps)
+}
+
+// SweepWith is Sweep under an explicit backend (nil selects the analytic
+// default). Backends that are not Parallelizable — wall-clock measurement
+// degrades under contention — run their groups serially regardless of the
+// worker-pool setting; the encode-once plans are still shared, so the
+// serialization costs only the dot work.
+func (e *Engine) SweepWith(b backend.Backend, ws []workloads.Workload, kinds []formats.Kind, ps []int) ([]Result, error) {
+	b = defaultBackend(b)
 	groups := len(ws) * len(ps)
 	out := make([]Result, groups*len(kinds))
 	errs := make([]error, groups)
 	workers := e.Workers()
+	if !b.Parallelizable() {
+		workers = 1
+	}
 	if workers > groups {
 		workers = groups
 	}
@@ -381,7 +466,7 @@ func (e *Engine) Sweep(ws []workloads.Workload, kinds []formats.Kind, ps []int) 
 	runGroup := func(g int) {
 		w := ws[g/len(ps)]
 		p := ps[g%len(ps)]
-		rs, err := e.SweepFormats(w.ID, w.M, p, kinds)
+		rs, err := e.SweepFormatsWith(b, w.ID, w.M, p, kinds)
 		if err != nil {
 			errs[g] = err
 			failed.Store(true)

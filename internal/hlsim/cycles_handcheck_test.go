@@ -35,7 +35,7 @@ func TestDecompCyclesHandComputed(t *testing.T) {
 	}
 	for k, w := range want {
 		enc := formats.Encode(k, tile)
-		if got := cfg.DecompCycles(enc); got != w {
+		if got := mustDecomp(t, cfg, enc); got != w {
 			t.Errorf("%v: DecompCycles = %d, hand-computed %d", k, got, w)
 		}
 	}
@@ -43,19 +43,19 @@ func TestDecompCyclesHandComputed(t *testing.T) {
 	// T_dot(8) = MulLatency + AddLatency·log2(8) = 4; dense compute is
 	// exactly 8·4 = 32 and σ is exactly 1.
 	dense := formats.Encode(formats.Dense, tile)
-	if got := cfg.ComputeCycles(dense); got != 32 {
+	if got := mustCompute(t, cfg, dense); got != 32 {
 		t.Errorf("dense compute = %d, want 32", got)
 	}
-	if got := cfg.Sigma(dense); got != 1 {
+	if got := mustSigma(t, cfg, dense); got != 1 {
 		t.Errorf("dense sigma = %v, want 1", got)
 	}
 
 	// CSR compute = 21 + 3 rows × 4 = 33 → σ = 33/32.
 	csr := formats.Encode(formats.CSR, tile)
-	if got := cfg.ComputeCycles(csr); got != 33 {
+	if got := mustCompute(t, cfg, csr); got != 33 {
 		t.Errorf("CSR compute = %d, want 33", got)
 	}
-	if got := cfg.Sigma(csr); got != 33.0/32.0 {
+	if got := mustSigma(t, cfg, csr); got != 33.0/32.0 {
 		t.Errorf("CSR sigma = %v, want %v", got, 33.0/32.0)
 	}
 }

@@ -21,7 +21,7 @@ import (
 // architecture disappears — the ext6 artifact quantifies how much of a
 // format's cost is the format and how much is the format/architecture
 // pairing, which is §8's co-design insight.
-func (c Config) DirectComputeCycles(enc formats.Encoded) int {
+func (c Config) DirectComputeCycles(enc formats.Encoded) (int, error) {
 	s := enc.Stats()
 	p := enc.P()
 	// accumDrain is the adder pipeline drain charged once per emitted
@@ -30,48 +30,52 @@ func (c Config) DirectComputeCycles(enc formats.Encoded) int {
 	switch enc.Kind() {
 	case formats.Dense:
 		// Nothing to gain: the dense stream feeds the dot engine as is.
-		return s.DotRows * c.DotLatency(p)
+		return s.DotRows * c.DotLatency(p), nil
 
 	case formats.CSR:
 		// Offsets walk per non-zero row, then one MAC per element with
 		// the gathered x[col]; accumulate drains per row.
-		return s.NonZeroRows*(c.BRAMReadLatency+accumDrain) + s.NNZ
+		return s.NonZeroRows*(c.BRAMReadLatency+accumDrain) + s.NNZ, nil
 
 	case formats.CSC:
 		// Stream columns in order: load x[col] once per column, then
 		// scatter-accumulate one MAC per element into the output buffer.
-		return p*c.BRAMReadLatency + s.NNZ
+		return p*c.BRAMReadLatency + s.NNZ, nil
 
 	case formats.BCSR:
 		// One issue slot per block (b MACs in parallel across the
 		// partitioned banks), offsets walk per block row.
-		return s.BlockRows*(c.BRAMReadLatency+accumDrain) + s.Blocks*formats.BCSRBlock
+		return s.BlockRows*(c.BRAMReadLatency+accumDrain) + s.Blocks*formats.BCSRBlock, nil
 
 	case formats.COO, formats.DOK:
 		// One MAC per tuple; a row switch drains the accumulator.
-		return s.NNZ*c.IICOO + s.NonZeroRows*accumDrain
+		return s.NNZ*c.IICOO + s.NonZeroRows*accumDrain, nil
 
 	case formats.LIL:
 		// Parallel column heads feed up to p MACs per emitted row.
-		return s.NonZeroRows * (c.BRAMReadLatency + c.CLILBase + accumDrain)
+		return s.NonZeroRows * (c.BRAMReadLatency + c.CLILBase + accumDrain), nil
 
 	case formats.ELL, formats.SELL, formats.ELLCOO, formats.JDS, formats.SELLCS:
 		// The rectangle rows issue W-wide MAC groups; padding still
 		// occupies slots, so every row costs one group.
-		return s.DotRows + s.NonZeroRows*accumDrain
+		return s.DotRows + s.NonZeroRows*accumDrain, nil
 
 	case formats.DIA:
 		// Each stored diagonal is a vector MAC against a shifted x.
-		return s.Diagonals*(c.BRAMReadLatency+p/4) + accumDrain
+		return s.Diagonals*(c.BRAMReadLatency+p/4) + accumDrain, nil
 
 	default:
-		panic(fmt.Sprintf("hlsim: DirectComputeCycles for unknown kind %v", enc.Kind()))
+		return 0, fmt.Errorf("%w: DirectComputeCycles for kind %v", ErrUnknownFormat, enc.Kind())
 	}
 }
 
 // SigmaDirect is Eq. (1) evaluated for the direct architecture: direct
 // compute cycles normalized by the dense baseline's dot latency.
-func (c Config) SigmaDirect(enc formats.Encoded) float64 {
+func (c Config) SigmaDirect(enc formats.Encoded) (float64, error) {
 	p := enc.P()
-	return float64(c.DirectComputeCycles(enc)) / float64(p*c.DotLatency(p))
+	d, err := c.DirectComputeCycles(enc)
+	if err != nil {
+		return 0, err
+	}
+	return float64(d) / float64(p*c.DotLatency(p)), nil
 }

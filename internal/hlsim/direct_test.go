@@ -14,12 +14,12 @@ func TestDirectCSCRemovesOrientationPenalty(t *testing.T) {
 	cfg := Default()
 	tile := randomTile(3, 16, 0.3)
 	enc := formats.Encode(formats.CSC, tile)
-	decomp := cfg.Sigma(enc)
-	direct := cfg.SigmaDirect(enc)
+	decomp := mustSigma(t, cfg, enc)
+	direct := mustSigmaDirect(t, cfg, enc)
 	if direct > decomp/5 {
 		t.Fatalf("direct CSC σ %.2f not well below decompress σ %.2f", direct, decomp)
 	}
-	csr := cfg.SigmaDirect(formats.Encode(formats.CSR, tile))
+	csr := mustSigmaDirect(t, cfg, formats.Encode(formats.CSR, tile))
 	if direct > 3*csr {
 		t.Fatalf("direct CSC σ %.2f not comparable to direct CSR %.2f", direct, csr)
 	}
@@ -31,10 +31,13 @@ func TestDirectCSCRemovesOrientationPenalty(t *testing.T) {
 func TestDirectNarrowsSpread(t *testing.T) {
 	cfg := Default()
 	tile := randomTile(7, 16, 0.2)
-	spread := func(sig func(formats.Encoded) float64) float64 {
+	spread := func(sig func(formats.Encoded) (float64, error)) float64 {
 		lo, hi := 1e18, 0.0
 		for _, k := range formats.Sparse() {
-			s := sig(formats.Encode(k, tile))
+			s, err := sig(formats.Encode(k, tile))
+			if err != nil {
+				t.Fatalf("%v: %v", k, err)
+			}
 			if s < lo {
 				lo = s
 			}
@@ -57,7 +60,7 @@ func TestDirectDenseUnchanged(t *testing.T) {
 	check := func(seed uint64) bool {
 		tile := randomTile(seed, 16, 0.3)
 		enc := formats.Encode(formats.Dense, tile)
-		return cfg.DirectComputeCycles(enc) == cfg.ComputeCycles(enc)
+		return mustDirectCompute(t, cfg, enc) == mustCompute(t, cfg, enc)
 	}
 	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)
@@ -70,7 +73,7 @@ func TestDirectPositive(t *testing.T) {
 	cfg := Default()
 	tile := randomTile(9, 16, 0.15)
 	for _, k := range formats.All() {
-		if c := cfg.DirectComputeCycles(formats.Encode(k, tile)); c <= 0 {
+		if c := mustDirectCompute(t, cfg, formats.Encode(k, tile)); c <= 0 {
 			t.Fatalf("%v: direct cycles %d", k, c)
 		}
 	}

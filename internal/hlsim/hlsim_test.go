@@ -68,7 +68,7 @@ func TestSigmaDenseIsOne(t *testing.T) {
 		r := xrand.New(seed)
 		p := []int{8, 16, 32}[r.Intn(3)]
 		tile := randomTile(seed, p, 0.3)
-		return c.Sigma(formats.Encode(formats.Dense, tile)) == 1
+		return mustSigma(t, c, formats.Encode(formats.Dense, tile)) == 1
 	}
 	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)
@@ -81,12 +81,12 @@ func TestSigmaDenseIsOne(t *testing.T) {
 func TestSigmaCSCWorst(t *testing.T) {
 	c := Default()
 	tile := randomTile(3, 16, 0.5)
-	sigCSC := c.Sigma(formats.Encode(formats.CSC, tile))
+	sigCSC := mustSigma(t, c, formats.Encode(formats.CSC, tile))
 	for _, k := range formats.Core() {
 		if k == formats.CSC {
 			continue
 		}
-		if s := c.Sigma(formats.Encode(k, tile)); s >= sigCSC {
+		if s := mustSigma(t, c, formats.Encode(k, tile)); s >= sigCSC {
 			t.Errorf("σ(%v) = %.2f >= σ(CSC) = %.2f", k, s, sigCSC)
 		}
 	}
@@ -101,7 +101,7 @@ func TestSigmaELLNearDense(t *testing.T) {
 	c := Default()
 	for _, d := range []float64{0.01, 0.1, 0.5} {
 		tile := randomTile(11, 16, d)
-		s := c.Sigma(formats.Encode(formats.ELL, tile))
+		s := mustSigma(t, c, formats.Encode(formats.ELL, tile))
 		if s < 1 || s > 1.5 {
 			t.Errorf("σ(ELL) at density %v = %.3f, want within (1, 1.5]", d, s)
 		}
@@ -114,7 +114,7 @@ func TestSigmaELLDecreasesWithPartition(t *testing.T) {
 	prev := math.Inf(1)
 	for _, p := range []int{8, 16, 32} {
 		tile := randomTile(13, p, 0.2)
-		s := c.Sigma(formats.Encode(formats.ELL, tile))
+		s := mustSigma(t, c, formats.Encode(formats.ELL, tile))
 		if s >= prev {
 			t.Fatalf("σ(ELL) did not decrease at p=%d: %.3f >= %.3f", p, s, prev)
 		}
@@ -127,8 +127,8 @@ func TestSigmaELLDecreasesWithPartition(t *testing.T) {
 func TestSigmaGrowsWithDensity(t *testing.T) {
 	c := Default()
 	for _, k := range []formats.Kind{formats.COO, formats.CSR, formats.CSC} {
-		lo := c.Sigma(formats.Encode(k, randomTile(17, 16, 0.01)))
-		hi := c.Sigma(formats.Encode(k, randomTile(17, 16, 0.5)))
+		lo := mustSigma(t, c, formats.Encode(k, randomTile(17, 16, 0.01)))
+		hi := mustSigma(t, c, formats.Encode(k, randomTile(17, 16, 0.5)))
 		if hi < 2*lo {
 			t.Errorf("σ(%v) did not grow with density: %.2f → %.2f", k, lo, hi)
 		}
@@ -323,8 +323,11 @@ func TestRunTileDeterministic(t *testing.T) {
 	cfg := Default()
 	tile := randomTile(31, 16, 0.2)
 	for _, k := range formats.All() {
-		a := RunTile(cfg, formats.Encode(k, tile))
-		b := RunTile(cfg, formats.Encode(k, tile))
+		a, errA := RunTile(cfg, formats.Encode(k, tile))
+		b, errB := RunTile(cfg, formats.Encode(k, tile))
+		if errA != nil || errB != nil {
+			t.Fatalf("%v: RunTile errors %v, %v", k, errA, errB)
+		}
 		if a != b {
 			t.Fatalf("%v: non-deterministic tile result", k)
 		}
@@ -338,7 +341,7 @@ func TestComputeCyclesComposition(t *testing.T) {
 		tile := randomTile(seed, 16, 0.2)
 		for _, k := range formats.All() {
 			enc := formats.Encode(k, tile)
-			if cfg.ComputeCycles(enc) != cfg.DecompCycles(enc)+enc.Stats().DotRows*cfg.DotLatency(16) {
+			if mustCompute(t, cfg, enc) != mustDecomp(t, cfg, enc)+enc.Stats().DotRows*cfg.DotLatency(16) {
 				return false
 			}
 		}

@@ -158,15 +158,25 @@ func (r *Result) InnerPipelineUtilization() float64 {
 	return float64(r.DotRows) / float64(uint64(r.NonZeroTiles)*uint64(r.P))
 }
 
-// RunTile models one encoded tile without touching vectors.
-func RunTile(cfg Config, enc formats.Encoded) TileResult {
+// RunTile models one encoded tile without touching vectors. A format the
+// cycle model has no equations for returns an error wrapping
+// ErrUnknownFormat instead of panicking.
+func RunTile(cfg Config, enc formats.Encoded) (TileResult, error) {
+	dec, err := cfg.DecompCycles(enc)
+	if err != nil {
+		return TileResult{}, err
+	}
+	comp, err := cfg.ComputeCycles(enc)
+	if err != nil {
+		return TileResult{}, err
+	}
 	return TileResult{
 		MemCycles:     cfg.MemCycles(enc),
-		DecompCycles:  cfg.DecompCycles(enc),
-		ComputeCycles: cfg.ComputeCycles(enc),
+		DecompCycles:  dec,
+		ComputeCycles: comp,
 		DotRows:       enc.Stats().DotRows,
 		Footprint:     enc.Footprint(),
-	}
+	}, nil
 }
 
 // Run streams every non-zero partition of m through the modelled

@@ -248,8 +248,13 @@ func (pl *Plan) ensureRows() {
 // format returns the cached per-format state, encoding and pricing every
 // non-zero tile exactly once per format — under that format's own
 // once-guard, so distinct formats warm concurrently. It does not run the
-// decode cross-check; see verify.
+// decode cross-check; see verify. A Kind outside the implemented range is
+// an ErrUnknownFormat error, not a panic, so it propagates through
+// Characterize/Sweep to callers (and services) as a client fault.
 func (pl *Plan) format(k formats.Kind) (*planFormat, error) {
+	if k < 0 || int(k) >= formats.NumKinds {
+		return nil, fmt.Errorf("%w: kind %d", ErrUnknownFormat, int(k))
+	}
 	slot := &pl.fmts[k]
 	slot.encodeOnce.Do(func() { slot.pf.Store(pl.encodeFormat(k)) })
 	pf := slot.pf.Load()
@@ -286,7 +291,15 @@ func (pl *Plan) encodeFormat(k formats.Kind) *planFormat {
 			for i := lo; i < min(lo+encodeChunk, n); i++ {
 				enc := formats.Encode(k, tiles[i])
 				pf.encs[i] = enc
-				pf.tiles[i] = RunTile(pl.cfg, enc)
+				tr, err := RunTile(pl.cfg, enc)
+				if err != nil {
+					// Unreachable for in-range Kinds (format() guards the
+					// range), but a model gap must surface as the slot's
+					// sticky error, never a panic in a worker goroutine.
+					pf.setErr(err)
+					return
+				}
+				pf.tiles[i] = tr
 			}
 		}
 	}
@@ -312,6 +325,9 @@ func (pl *Plan) encodeFormat(k formats.Kind) *planFormat {
 		wg.Wait()
 	} else {
 		work()
+	}
+	if pf.err() != nil {
+		return pf
 	}
 	for i := range pf.tiles {
 		tr := &pf.tiles[i]

@@ -362,7 +362,10 @@ func newGenericSource(cfg Config, enc formats.Encoded) (*genericSource, error) {
 		s.rows = append(s.rows, i)
 		s.vals = append(s.vals, row)
 	}
-	total := cfg.DecompCycles(enc)
+	total, err := cfg.DecompCycles(enc)
+	if err != nil {
+		return nil, err
+	}
 	if n := len(s.rows); n > 0 {
 		s.per = total / n
 		s.first = total - s.per*(n-1)

@@ -81,7 +81,7 @@ func TestRowSourceCyclesMatchClosedForm(t *testing.T) {
 				tile := randomTile(seed, p, density)
 				enc := formats.Encode(k, tile)
 				_, cycles, _ := drain(t, cfg, enc)
-				want := cfg.DecompCycles(enc)
+				want := mustDecomp(t, cfg, enc)
 				if cycles != want {
 					t.Logf("%v p=%d d=%g: walked %d cycles, closed form %d", k, p, density, cycles, want)
 					return false

@@ -52,6 +52,38 @@ func Mean(vs []float64) float64 {
 	return sum / float64(len(vs))
 }
 
+// KendallTau returns the Kendall rank correlation τ (tau-a) between two
+// cost vectors over the same items: for every item pair, the pair is
+// concordant when both vectors order it the same way and discordant when
+// they disagree; τ = (concordant − discordant) / (n·(n−1)/2). Ties in
+// either vector contribute zero. It is the rank-agreement statistic of
+// the model-vs-measured backend comparison: τ = 1 means the measured
+// backend reproduces the model's format ordering exactly, τ = −1 a full
+// reversal. Slices must be the same length; fewer than two items yield
+// τ = 1 (nothing to disagree about).
+func KendallTau(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("metrics: KendallTau over %d vs %d items", len(a), len(b)))
+	}
+	n := len(a)
+	if n < 2 {
+		return 1
+	}
+	conc, disc := 0, 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			prod := (a[i] - a[j]) * (b[i] - b[j])
+			switch {
+			case prod > 0:
+				conc++
+			case prod < 0:
+				disc++
+			}
+		}
+	}
+	return float64(conc-disc) / float64(n*(n-1)/2)
+}
+
 // Normalize rescales raw metric values to [0, 1] with 1 best and 0 worst
 // (Fig. 14). All-equal inputs map to all-1 (every format achieved the
 // best). TargetOne first maps values to -|ln v| so the score peaks at

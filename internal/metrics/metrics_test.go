@@ -20,6 +20,52 @@ func TestGeomean(t *testing.T) {
 	}
 }
 
+func TestKendallTau(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b []float64
+		want float64
+	}{
+		{"identical order", []float64{1, 2, 3, 4}, []float64{10, 20, 30, 40}, 1},
+		{"full reversal", []float64{1, 2, 3, 4}, []float64{40, 30, 20, 10}, -1},
+		{"one swap", []float64{1, 2, 3}, []float64{1, 3, 2}, 1.0 / 3.0},
+		{"tie contributes zero", []float64{1, 2}, []float64{5, 5}, 0},
+		{"single item", []float64{7}, []float64{3}, 1},
+		{"empty", nil, nil, 1},
+	}
+	for _, tc := range cases {
+		if got := KendallTau(tc.a, tc.b); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("%s: KendallTau = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestKendallTauSymmetric(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 2 + r.Intn(8)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i], b[i] = r.Float64(), r.Float64()
+		}
+		tau := KendallTau(a, b)
+		return tau >= -1 && tau <= 1 && tau == KendallTau(b, a)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKendallTauPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("KendallTau length mismatch did not panic")
+		}
+	}()
+	KendallTau([]float64{1}, []float64{1, 2})
+}
+
 func TestGeomeanPanicsOnNonPositive(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -177,6 +177,36 @@ func TestExt7StaticEnergyPenalizesSlowFormats(t *testing.T) {
 	}
 }
 
+// TestExt8RankAgreementShape: the model-vs-measured table has one row
+// per SuiteSparse workload, τ within [-1, 1], and best-format cells that
+// name real sparse formats. The measured values themselves are
+// nondeterministic, so only the structure is asserted.
+func TestExt8RankAgreementShape(t *testing.T) {
+	o := NewSmallOptions()
+	tab, err := Ext8(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(o.suite("SuiteSparse")) {
+		t.Fatalf("ext8 rows = %d, want one per SuiteSparse workload", len(tab.Rows))
+	}
+	tauC := colIndex(t, tab, "kendall_tau")
+	aC := colIndex(t, tab, "analytic_best")
+	nC := colIndex(t, tab, "native_best")
+	sparse := map[string]bool{}
+	for _, k := range formats.Sparse() {
+		sparse[k.String()] = true
+	}
+	for _, row := range tab.Rows {
+		if tau := parse(t, row[tauC]); tau < -1-1e-9 || tau > 1+1e-9 {
+			t.Fatalf("tau %v out of range in %v", tau, row)
+		}
+		if !sparse[row[aC]] || !sparse[row[nC]] {
+			t.Fatalf("best-format cells name unknown formats: %v", row)
+		}
+	}
+}
+
 func TestExtGenerateById(t *testing.T) {
 	for _, id := range ExtOrder {
 		if _, err := Generate(small, id); err != nil {

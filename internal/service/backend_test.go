@@ -1,0 +1,177 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestSweepBackendIsolation is the per-backend cache-isolation guarantee:
+// sweeping the same (matrix, formats, partitions) point under two
+// backends creates two distinct cache entries, neither serving the
+// other's results, and a repeat of each is a hit on its own entry.
+func TestSweepBackendIsolation(t *testing.T) {
+	_, ts := newTestServer(t)
+	req := func(backendName string) (bool, []any) {
+		body := fmt.Sprintf(`{"matrix":"2C","formats":["CSR","COO"],"partitions":[8],"backend":%q}`, backendName)
+		code, out := doJSON(t, "POST", ts.URL+"/v1/sweep", strings.NewReader(body))
+		if code != http.StatusOK {
+			t.Fatalf("sweep backend=%s: %d %v", backendName, code, out)
+		}
+		return out["cached"].(bool), out["results"].([]any)
+	}
+
+	anaCached, anaRes := req("analytic")
+	if anaCached {
+		t.Fatal("first analytic sweep reported cached")
+	}
+	// The native sweep of the identical point must MISS: the analytic
+	// entry cannot serve it.
+	natCached, natRes := req("native")
+	if natCached {
+		t.Fatal("native sweep served from the analytic cache entry — backends cross-contaminated")
+	}
+	_, cache := getStats(t, ts.URL)
+	if entries := int(cache["entries"].(float64)); entries != 2 {
+		t.Fatalf("cache entries = %d, want 2 (one per backend)", entries)
+	}
+
+	// Each repeat must HIT its own backend's entry and return that
+	// backend's results.
+	for _, name := range []string{"analytic", "native"} {
+		cached, res := req(name)
+		if !cached {
+			t.Fatalf("repeat %s sweep missed the cache", name)
+		}
+		for _, raw := range res {
+			r := raw.(map[string]any)
+			if r["backend"] != name {
+				t.Fatalf("%s sweep returned a result tagged %v", name, r["backend"])
+			}
+			if measured := r["measured"].(bool); measured != (name == "native") {
+				t.Fatalf("%s sweep returned measured=%v", name, measured)
+			}
+		}
+	}
+
+	// Native results carry a real measurement; analytic results the model
+	// prediction. Same formats in both responses.
+	if len(anaRes) != len(natRes) {
+		t.Fatalf("result counts diverge: %d vs %d", len(anaRes), len(natRes))
+	}
+	for i := range natRes {
+		n := natRes[i].(map[string]any)
+		a := anaRes[i].(map[string]any)
+		if n["format"] != a["format"] {
+			t.Fatalf("format order diverges at %d", i)
+		}
+		if n["seconds"].(float64) <= 0 || n["ns_per_nnz"].(float64) <= 0 {
+			t.Fatalf("native result %d has no measurement: %v", i, n)
+		}
+		if n["measured_runs"].(float64) < 1 || n["threads"].(float64) < 1 {
+			t.Fatalf("native result %d lacks methodology fields: %v", i, n)
+		}
+	}
+
+	// Per-backend hit rates are reported on /v1/stats.
+	code, stats := doJSON(t, "GET", ts.URL+"/v1/stats", nil)
+	if code != http.StatusOK {
+		t.Fatalf("stats: %d", code)
+	}
+	backends := stats["backends"].(map[string]any)
+	for _, name := range []string{"analytic", "native"} {
+		bs, ok := backends[name].(map[string]any)
+		if !ok {
+			t.Fatalf("stats missing backend %q: %v", name, backends)
+		}
+		if bs["hits"].(float64) != 1 || bs["misses"].(float64) != 1 {
+			t.Fatalf("%s stats = %v, want 1 hit / 1 miss", name, bs)
+		}
+	}
+}
+
+// TestSweepGetNativeEndToEnd: the query-parameter form of /v1/sweep
+// returns measured results and shares cache entries with the POST form.
+func TestSweepGetNativeEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t)
+	url := ts.URL + "/v1/sweep?matrix=2C&formats=CSR,COO&partitions=8&backend=native"
+	code, out := doJSON(t, "GET", url, nil)
+	if code != http.StatusOK {
+		t.Fatalf("GET sweep: %d %v", code, out)
+	}
+	if out["cached"].(bool) {
+		t.Fatal("first GET sweep reported cached")
+	}
+	for _, raw := range out["results"].([]any) {
+		r := raw.(map[string]any)
+		if r["backend"] != "native" || r["measured"] != true || r["seconds"].(float64) <= 0 {
+			t.Fatalf("GET sweep result not measured: %v", r)
+		}
+	}
+	// The POST form of the identical request shares the cache entry.
+	body := `{"matrix":"2C","formats":["CSR","COO"],"partitions":[8],"backend":"native"}`
+	code, out = doJSON(t, "POST", ts.URL+"/v1/sweep", strings.NewReader(body))
+	if code != http.StatusOK || !out["cached"].(bool) {
+		t.Fatalf("POST after GET: %d cached=%v", code, out["cached"])
+	}
+	if code, _ := doJSON(t, "GET", ts.URL+"/v1/sweep?matrix=2C&partitions=nope", nil); code != http.StatusBadRequest {
+		t.Fatalf("bad partitions: %d", code)
+	}
+	if code, _ := doJSON(t, "GET", ts.URL+"/v1/sweep?matrix=missing", nil); code != http.StatusNotFound {
+		t.Fatalf("missing matrix: %d", code)
+	}
+}
+
+// TestSweepUnknownBackendRejected: a bad backend name is the client's
+// 400 with the selectable IDs in the message.
+func TestSweepUnknownBackendRejected(t *testing.T) {
+	_, ts := newTestServer(t)
+	body := `{"matrix":"2C","formats":["CSR"],"partitions":[8],"backend":"roofline"}`
+	code, out := doJSON(t, "POST", ts.URL+"/v1/sweep", strings.NewReader(body))
+	if code != http.StatusBadRequest {
+		t.Fatalf("unknown backend: %d %v", code, out)
+	}
+	if !strings.Contains(out["error"].(string), "analytic") {
+		t.Fatalf("error does not list selectable backends: %v", out["error"])
+	}
+}
+
+// TestCharacterizeAndAdviseBackendParam: backend= is honored end to end
+// on the GET endpoints.
+func TestCharacterizeAndAdviseBackendParam(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, out := doJSON(t, "GET", ts.URL+"/v1/characterize?matrix=2C&format=CSR&p=8&backend=native", nil)
+	if code != http.StatusOK {
+		t.Fatalf("characterize: %d %v", code, out)
+	}
+	r := out["result"].(map[string]any)
+	if r["backend"] != "native" || r["measured"] != true || r["seconds"].(float64) <= 0 {
+		t.Fatalf("characterize backend=native result: %v", r)
+	}
+
+	code, out = doJSON(t, "GET", ts.URL+"/v1/advise?matrix=2C&p=8&backend=native", nil)
+	if code != http.StatusOK {
+		t.Fatalf("advise: %d %v", code, out)
+	}
+	if out["backend"] != "native" {
+		t.Fatalf("advise backend = %v", out["backend"])
+	}
+	for _, raw := range out["results"].([]any) {
+		if r := raw.(map[string]any); r["backend"] != "native" {
+			t.Fatalf("advise returned %v result", r["backend"])
+		}
+	}
+
+	if code, _ := doJSON(t, "GET", ts.URL+"/v1/advise?matrix=2C&p=8&backend=nope", nil); code != http.StatusBadRequest {
+		t.Fatalf("advise with unknown backend: %d", code)
+	}
+	// The default stays analytic.
+	code, out = doJSON(t, "GET", ts.URL+"/v1/characterize?matrix=2C&format=CSR&p=8", nil)
+	if code != http.StatusOK {
+		t.Fatalf("default characterize: %d", code)
+	}
+	if r := out["result"].(map[string]any); r["backend"] != "analytic" || r["measured"] != false {
+		t.Fatalf("default characterize result: %v", r)
+	}
+}

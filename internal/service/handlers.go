@@ -10,8 +10,10 @@ import (
 	"strings"
 	"time"
 
+	"copernicus/internal/backend"
 	"copernicus/internal/core"
 	"copernicus/internal/formats"
+	"copernicus/internal/hlsim"
 	"copernicus/internal/mtx"
 )
 
@@ -24,11 +26,19 @@ const (
 	maxPartitionSize     = 1024
 )
 
-// resultJSON is the wire form of one characterization point.
+// resultJSON is the wire form of one characterization point. Backend
+// names the costing backend; Measured marks seconds (and derived rates)
+// as wall-clock measurements; MeasuredRuns/Threads document a measured
+// backend's methodology and are omitted for modelled results.
 type resultJSON struct {
 	Workload          string  `json:"workload"`
 	Format            string  `json:"format"`
 	P                 int     `json:"p"`
+	Backend           string  `json:"backend"`
+	Measured          bool    `json:"measured"`
+	MeasuredRuns      int     `json:"measured_runs,omitempty"`
+	Threads           int     `json:"threads,omitempty"`
+	NsPerNNZ          float64 `json:"ns_per_nnz"`
 	Sigma             float64 `json:"sigma"`
 	BalanceRatio      float64 `json:"balance_ratio"`
 	MeanMemCycles     float64 `json:"mean_mem_cycles"`
@@ -55,6 +65,11 @@ func toResultJSON(r core.Result) resultJSON {
 		Workload:          r.Workload,
 		Format:            r.Format.String(),
 		P:                 r.P,
+		Backend:           r.Backend,
+		Measured:          r.Measured,
+		MeasuredRuns:      r.MeasuredRuns,
+		Threads:           r.Threads,
+		NsPerNNZ:          r.NsPerNNZ,
 		Sigma:             r.Sigma,
 		BalanceRatio:      r.BalanceRatio,
 		MeanMemCycles:     r.MeanMemCycles,
@@ -153,13 +168,19 @@ func parsePartitions(ps []int) ([]int, error) {
 }
 
 // sweepKey names one cached sweep: the matrix ID leads (so deletion can
-// invalidate by prefix), then the format and partition lists in request
-// order. Order is part of the key because the stored results mirror it —
-// [CSR,ELL] and [ELL,CSR] cache separately; the engine plan cache below
-// still makes the reordered request skip partition+encode.
-func sweepKey(matrixID string, kinds []formats.Kind, ps []int) string {
+// invalidate by prefix), then the backend ID, then the format and
+// partition lists in request order. The backend is part of the key
+// because the stored results carry its costing — analytic and native
+// sweeps of one point are distinct cache entries that never
+// cross-contaminate — while the engine plan cache below stays shared, so
+// a second backend on a warm point pays no re-partition or re-encode.
+// Format/partition order is part of the key because the stored results
+// mirror it — [CSR,ELL] and [ELL,CSR] cache separately.
+func sweepKey(matrixID string, b backend.Backend, kinds []formats.Kind, ps []int) string {
 	var sb strings.Builder
 	sb.WriteString(matrixID)
+	sb.WriteString("|b=")
+	sb.WriteString(b.ID())
 	sb.WriteString("|f=")
 	for i, k := range kinds {
 		if i > 0 {
@@ -182,16 +203,18 @@ func sweepKey(matrixID string, kinds []formats.Kind, ps []int) string {
 var errMatrixDeleted = errors.New("matrix deleted")
 
 // runSweep computes (or returns cached) results for one matrix across
-// kinds × ps, singleflight-deduplicated on the canonical key.
-func (s *Server) runSweep(info MatrixInfo, kinds []formats.Kind, ps []int) ([]core.Result, bool, error) {
+// kinds × ps under the given backend, singleflight-deduplicated on the
+// canonical key (which embeds the backend ID, isolating each backend's
+// cache entries).
+func (s *Server) runSweep(info MatrixInfo, b backend.Backend, kinds []formats.Kind, ps []int) ([]core.Result, bool, error) {
 	_, m, ok := s.reg.Lookup(info.ID)
 	if !ok {
 		return nil, false, fmt.Errorf("matrix %q: %w", info.ID, errMatrixDeleted)
 	}
-	v, cached, err := s.cache.Do(sweepKey(info.ID, kinds, ps), func() (any, error) {
+	v, cached, err := s.cache.Do(sweepKey(info.ID, b, kinds, ps), func() (any, error) {
 		out := make([]core.Result, 0, len(kinds)*len(ps))
 		for _, p := range ps {
-			rs, err := s.engine.SweepFormats(info.ID, m, p, kinds)
+			rs, err := s.engine.SweepFormatsWith(b, info.ID, m, p, kinds)
 			if err != nil {
 				return nil, err
 			}
@@ -207,6 +230,7 @@ func (s *Server) runSweep(info MatrixInfo, kinds []formats.Kind, ps []int) ([]co
 		}
 		return out, nil
 	})
+	s.noteBackend(b.ID(), cached && err == nil)
 	if err != nil {
 		return nil, false, err
 	}
@@ -225,10 +249,16 @@ func (s *Server) runSweep(info MatrixInfo, kinds []formats.Kind, ps []int) ([]co
 }
 
 // sweepStatus maps a runSweep error to its HTTP status: losing a race
-// with DELETE is the client's 404, not a server fault.
+// with DELETE is the client's 404, and asking the cycle model for a
+// format it has no equations for is the client's 400 — neither is a
+// server fault (and the latter is an error up the stack now, not a
+// crashed goroutine).
 func sweepStatus(err error) int {
-	if errors.Is(err, errMatrixDeleted) {
+	switch {
+	case errors.Is(err, errMatrixDeleted):
 		return http.StatusNotFound
+	case errors.Is(err, hlsim.ErrUnknownFormat):
+		return http.StatusBadRequest
 	}
 	return http.StatusInternalServerError
 }
@@ -309,11 +339,14 @@ func (s *Server) handleDeleteMatrix(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
-// sweepRequest is the POST /v1/sweep body.
+// sweepRequest is the POST /v1/sweep body. Backend selects the costing
+// backend ("analytic" cycle model by default, "native" for measured
+// host-CPU wall time).
 type sweepRequest struct {
 	Matrix     string   `json:"matrix"`
 	Formats    []string `json:"formats,omitempty"`
 	Partitions []int    `json:"partitions,omitempty"`
+	Backend    string   `json:"backend,omitempty"`
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -328,22 +361,61 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "missing \"matrix\"")
 		return
 	}
-	info, _, ok := s.reg.Lookup(req.Matrix)
+	s.serveSweep(w, req.Matrix, req.Formats, req.Partitions, req.Backend)
+}
+
+// handleSweepGet is the query-parameter form of /v1/sweep:
+// GET /v1/sweep?matrix=ID&formats=CSR,COO&partitions=8,16&backend=native.
+// It feeds the same serveSweep tail as the POST form — identical
+// validation, canonical cache key, and response shape, so the two forms
+// share entries and cannot drift apart.
+func (s *Server) handleSweepGet(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var names []string
+	if raw := q.Get("formats"); raw != "" {
+		for _, tok := range strings.Split(raw, ",") {
+			names = append(names, strings.TrimSpace(tok))
+		}
+	}
+	var ps []int
+	if raw := q.Get("partitions"); raw != "" {
+		for _, tok := range strings.Split(raw, ",") {
+			p, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, "bad partition size %q", tok)
+				return
+			}
+			ps = append(ps, p)
+		}
+	}
+	s.serveSweep(w, q.Get("matrix"), names, ps, q.Get("backend"))
+}
+
+// serveSweep is the shared tail of both /v1/sweep forms: validate the
+// matrix, format, partition, and backend selections, run (or hit) the
+// cached sweep, and write the uniform response.
+func (s *Server) serveSweep(w http.ResponseWriter, matrixID string, names []string, partitions []int, backendName string) {
+	info, _, ok := s.reg.Lookup(matrixID)
 	if !ok {
-		writeErr(w, http.StatusNotFound, "unknown matrix %q", req.Matrix)
+		writeErr(w, http.StatusNotFound, "unknown matrix %q", matrixID)
 		return
 	}
-	kinds, err := parseKinds(req.Formats)
+	kinds, err := parseKinds(names)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	ps, err := parsePartitions(req.Partitions)
+	ps, err := parsePartitions(partitions)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	rs, cached, err := s.runSweep(info, kinds, ps)
+	b, err := backend.For(backendName)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	rs, cached, err := s.runSweep(info, b, kinds, ps)
 	if err != nil {
 		writeErr(w, sweepStatus(err), "sweep: %v", err)
 		return
@@ -356,7 +428,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleCharacterize runs one (matrix, format, p) point:
-// GET /v1/characterize?matrix=ID&format=CSR&p=16.
+// GET /v1/characterize?matrix=ID&format=CSR&p=16&backend=analytic|native.
 func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	info, _, ok := s.reg.Lookup(q.Get("matrix"))
@@ -383,7 +455,12 @@ func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	rs, cached, err := s.runSweep(info, kinds, ps)
+	b, err := backend.For(q.Get("backend"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	rs, cached, err := s.runSweep(info, b, kinds, ps)
 	if err != nil {
 		writeErr(w, sweepStatus(err), "characterize: %v", err)
 		return
@@ -396,7 +473,8 @@ func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleAdvise recommends the best format for a (matrix, p) point:
-// GET /v1/advise?matrix=ID&p=16&objective=balanced|latency. The sweep
+// GET /v1/advise?matrix=ID&p=16&objective=balanced|latency&backend=
+// analytic|native (native ranks by measured host wall time). The sweep
 // behind it flows through the same cache as /v1/sweep — a prior sweep of
 // the sparse formats at the same p makes the advice free, and concurrent
 // advise calls share one engine run.
@@ -428,7 +506,12 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	rs, cached, err := s.runSweep(info, formats.Sparse(), ps)
+	b, err := backend.For(q.Get("backend"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	rs, cached, err := s.runSweep(info, b, formats.Sparse(), ps)
 	if err != nil {
 		writeErr(w, sweepStatus(err), "advise: %v", err)
 		return
@@ -447,6 +530,7 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"matrix":        info,
 		"p":             p,
+		"backend":       b.ID(),
 		"cached":        cached,
 		"format":        rec.Format.String(),
 		"reason":        rec.Reason,
@@ -464,6 +548,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"workers":      s.engine.Workers(),
 		"engine_plans": s.engine.PlanStats(),
 		"sweep_cache":  s.cache.Stats(),
+		"backends":     s.backendStats(),
 	})
 }
 

@@ -2,6 +2,7 @@ package service
 
 import (
 	"net/http"
+	"sync"
 	"time"
 
 	"copernicus/internal/core"
@@ -60,6 +61,48 @@ type Server struct {
 	cache  *resultCache
 	mux    *http.ServeMux
 	start  time.Time
+
+	// bmu guards bstats: per-backend sweep-cache hit/miss tallies.
+	// Entries in the shared result cache already isolate by backend
+	// (the key embeds the backend ID); these counters expose each
+	// backend's hit rate separately on /v1/stats.
+	bmu    sync.Mutex
+	bstats map[string]*BackendStats
+}
+
+// BackendStats is the per-backend slice of sweep-cache traffic: Hits are
+// requests served from (or shared with) a cached sweep of this backend,
+// Misses ran the engine under it.
+type BackendStats struct {
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+}
+
+// noteBackend tallies one sweep request against its backend.
+func (s *Server) noteBackend(id string, hit bool) {
+	s.bmu.Lock()
+	st, ok := s.bstats[id]
+	if !ok {
+		st = &BackendStats{}
+		s.bstats[id] = st
+	}
+	if hit {
+		st.Hits++
+	} else {
+		st.Misses++
+	}
+	s.bmu.Unlock()
+}
+
+// backendStats snapshots the per-backend counters.
+func (s *Server) backendStats() map[string]BackendStats {
+	s.bmu.Lock()
+	out := make(map[string]BackendStats, len(s.bstats))
+	for id, st := range s.bstats {
+		out[id] = *st
+	}
+	s.bmu.Unlock()
+	return out
 }
 
 // New builds a server and pre-registers the built-in workload suites
@@ -74,6 +117,7 @@ func New(o Options) *Server {
 		cache:  newResultCache(o.CacheEntries),
 		mux:    http.NewServeMux(),
 		start:  time.Now(),
+		bstats: map[string]*BackendStats{},
 	}
 	c := workloads.Config{Scale: o.Scale, RandomDim: o.Scale, BandDim: o.Scale}
 	for _, w := range workloads.SuiteSparse(c) {
@@ -105,6 +149,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/matrices/{id}", s.handleGetMatrix)
 	s.mux.HandleFunc("DELETE /v1/matrices/{id}", s.handleDeleteMatrix)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("GET /v1/sweep", s.handleSweepGet)
 	s.mux.HandleFunc("GET /v1/characterize", s.handleCharacterize)
 	s.mux.HandleFunc("GET /v1/advise", s.handleAdvise)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
