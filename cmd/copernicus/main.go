@@ -26,14 +26,18 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"copernicus"
@@ -76,7 +80,26 @@ func run(args []string) error {
 	addr := fs.String("addr", "localhost:8459", "listen address (serve)")
 	workers := fs.Int("workers", 0, "sweep worker-pool size, 0 = GOMAXPROCS (serve)")
 	cacheEntries := fs.Int("cache", 256, "sweep result cache entries (serve)")
+	timeout := fs.Duration("timeout", 0, "abort sweep/advise/bench after this long (0 = no limit)")
 	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+
+	// Compute subcommands run under a cancelable context: Ctrl-C (or
+	// SIGTERM, or -timeout) aborts the engine mid-warmup instead of
+	// letting it run to completion. On cancellation they exit non-zero
+	// with a note that any output already printed is partial.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	notePartial := func(err error) error {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintln(os.Stderr, "copernicus: canceled — any output above is partial")
+		}
 		return err
 	}
 
@@ -101,13 +124,13 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		return sweepCmd(m, *kind, *backendID, *formatsList, *psList, *csv)
+		return notePartial(sweepCmd(ctx, m, *kind, *backendID, *formatsList, *psList, *csv))
 	case "advise":
 		m, err := load()
 		if err != nil {
 			return err
 		}
-		return advise(m, *kind, *p, *backendID)
+		return notePartial(advise(ctx, m, *kind, *p, *backendID))
 	case "stats":
 		m, err := load()
 		if err != nil {
@@ -136,7 +159,7 @@ func run(args []string) error {
 		}
 		return trace(m, *format, *p, *tiles)
 	case "bench":
-		return benchCmd(*scale, *iters, *jsonOut, *out, *backendID)
+		return notePartial(benchCmd(ctx, *scale, *iters, *jsonOut, *out, *backendID))
 	case "serve":
 		return serve(*addr, *scale, *workers, *cacheEntries)
 	case "workloads":
@@ -215,7 +238,7 @@ type benchRecord struct {
 // accelerates — a full characterization sweep and an iterative CG solve
 // through the accelerator backend — and optionally records them to
 // BENCH_sweep.json so the performance trajectory is tracked per commit.
-func benchCmd(scale, iters int, jsonOut bool, out, backendID string) error {
+func benchCmd(ctx context.Context, scale, iters int, jsonOut bool, out, backendID string) error {
 	if iters < 1 {
 		iters = 1
 	}
@@ -248,17 +271,44 @@ func benchCmd(scale, iters int, jsonOut bool, out, backendID string) error {
 	}
 	ws := copernicus.SuiteSparseWorkloads(copernicus.WorkloadConfig{Scale: scale, RandomDim: scale, BandDim: scale})
 	points := len(ws) * len(copernicus.CoreFormats()) * len(copernicus.PartitionSizes())
-	if _, err := e.SweepWith(bk, ws, copernicus.CoreFormats(), copernicus.PartitionSizes()); err != nil {
+	if _, err := e.SweepWith(ctx, bk, ws, copernicus.CoreFormats(), copernicus.PartitionSizes()); err != nil {
 		return err
 	}
 	res, err := measure("sweep_suitesparse_core_formats", iters, points, func() error {
-		_, err := e.SweepWith(bk, ws, copernicus.CoreFormats(), copernicus.PartitionSizes())
+		_, err := e.SweepWith(ctx, bk, ws, copernicus.CoreFormats(), copernicus.PartitionSizes())
 		return err
 	})
 	if err != nil {
 		return err
 	}
 	rec.Benchmarks = append(rec.Benchmarks, res)
+
+	// Streamed-sweep latency: the same warm sweep through SweepStreamWith,
+	// recording both how quickly the first result row reaches the caller
+	// (the latency a streaming client or NDJSON consumer sees) and the
+	// total stream time. On a warm engine the gap between the two is the
+	// whole point of incremental delivery: first-row latency stays at one
+	// group's cost no matter how many groups the sweep spans.
+	var firstNs, totalNs float64
+	for i := 0; i < iters; i++ {
+		gotFirst := false
+		start := time.Now()
+		err := e.SweepStreamWith(ctx, bk, ws, copernicus.CoreFormats(), copernicus.PartitionSizes(),
+			func(copernicus.Result) error {
+				if !gotFirst {
+					gotFirst = true
+					firstNs += float64(time.Since(start).Nanoseconds())
+				}
+				return nil
+			})
+		if err != nil {
+			return err
+		}
+		totalNs += float64(time.Since(start).Nanoseconds())
+	}
+	rec.Benchmarks = append(rec.Benchmarks,
+		benchResult{Name: "sweep_stream_time_to_first_result", Iterations: iters, NsPerOp: firstNs / float64(iters), Points: points},
+		benchResult{Name: "sweep_stream_total", Iterations: iters, NsPerOp: totalNs / float64(iters), Points: points})
 
 	// Iterative-kernel benchmark: 60 CG iterations through the
 	// accelerator backend (plan built once per op, reused per iteration).
@@ -490,7 +540,7 @@ func writeArtifact(dir, id string, t copernicus.ExperimentTable) error {
 	return csvf.Close()
 }
 
-func advise(m *copernicus.Matrix, kind string, p int, backendID string) error {
+func advise(ctx context.Context, m *copernicus.Matrix, kind string, p int, backendID string) error {
 	b, err := copernicus.BackendFor(backendID)
 	if err != nil {
 		return err
@@ -506,7 +556,7 @@ func advise(m *copernicus.Matrix, kind string, p int, backendID string) error {
 	if b.ID() != "analytic" {
 		fmt.Printf("backend: %s (latency axis is measured host wall time)\n", b.ID())
 	}
-	rec, err := copernicus.NewEngine().RecommendWith(b, m, p, nil, copernicus.BalancedObjective())
+	rec, err := copernicus.NewEngine().RecommendWith(ctx, b, m, p, nil, copernicus.BalancedObjective())
 	if err != nil {
 		return err
 	}
@@ -525,7 +575,11 @@ func advise(m *copernicus.Matrix, kind string, p int, backendID string) error {
 // -backend native the seconds/ns-per-nnz columns are measured host-CPU
 // wall time of the warm streaming SpMV; with the default analytic
 // backend they are the paper's modelled accelerator time.
-func sweepCmd(m *copernicus.Matrix, kind, backendID, formatsList, psList string, csv bool) error {
+//
+// Rows print as each partition-size group completes (the engine's
+// streaming sweep), so a canceled run still shows the finished groups —
+// the caller marks such output as partial.
+func sweepCmd(ctx context.Context, m *copernicus.Matrix, kind, backendID, formatsList, psList string, csv bool) error {
 	b, err := copernicus.BackendFor(backendID)
 	if err != nil {
 		return err
@@ -551,38 +605,34 @@ func sweepCmd(m *copernicus.Matrix, kind, backendID, formatsList, psList string,
 	}
 
 	e := copernicus.NewEngine()
-	var rs []copernicus.Result
-	for _, p := range ps {
-		sub, err := e.SweepFormatsWith(b, "matrix", m, p, kinds)
-		if err != nil {
-			return err
-		}
-		rs = append(rs, sub...)
-	}
-
+	ws := []copernicus.Workload{{ID: "matrix", M: m}}
 	if csv {
 		fmt.Println("backend,format,p,seconds,ns_per_nnz,sigma,balance,bw_util,measured")
-		for _, r := range rs {
+		return e.SweepStreamWith(ctx, b, ws, kinds, ps, func(r copernicus.Result) error {
 			fmt.Printf("%s,%s,%d,%.6e,%.3f,%.3f,%.3f,%.4f,%t\n",
 				r.Backend, r.Format, r.P, r.Seconds, r.NsPerNNZ, r.Sigma,
 				r.BalanceRatio, r.BandwidthUtil, r.Measured)
-		}
-		return nil
+			return nil
+		})
 	}
 	fmt.Printf("matrix: %s, %dx%d, nnz=%d, density=%.4g\n",
 		kind, m.Rows, m.Cols, m.NNZ(), m.Density())
-	fmt.Printf("backend: %s", b.ID())
-	if b.ID() == "native" {
-		fmt.Printf(" (min of %d timed runs, GOMAXPROCS=%d; host ns, not accelerator cycles)",
-			rs[0].MeasuredRuns, rs[0].Threads)
-	}
-	fmt.Println()
-	fmt.Println("format   p    seconds     ns/nnz      sigma    balance  bw_util")
-	for _, r := range rs {
+	headed := false
+	return e.SweepStreamWith(ctx, b, ws, kinds, ps, func(r copernicus.Result) error {
+		if !headed {
+			headed = true
+			fmt.Printf("backend: %s", b.ID())
+			if b.ID() == "native" {
+				fmt.Printf(" (min of %d timed runs, GOMAXPROCS=%d; host ns, not accelerator cycles)",
+					r.MeasuredRuns, r.Threads)
+			}
+			fmt.Println()
+			fmt.Println("format   p    seconds     ns/nnz      sigma    balance  bw_util")
+		}
 		fmt.Printf("%-7v  %-3d  %.3e  %10.2f  %7.2f  %7.2f  %7.4f\n",
 			r.Format, r.P, r.Seconds, r.NsPerNNZ, r.Sigma, r.BalanceRatio, r.BandwidthUtil)
-	}
-	return nil
+		return nil
+	})
 }
 
 func describeWorkloads(scale int) error {

@@ -16,8 +16,11 @@ import (
 
 // serve runs the long-running characterization service: the HTTP/JSON
 // API over a single warm engine, so concurrent clients share cached
-// plans and sweep results. It shuts down gracefully on SIGINT/SIGTERM,
-// draining in-flight requests for up to ten seconds.
+// plans and sweep results. It shuts down gracefully on SIGINT/SIGTERM:
+// the service's base context is canceled first — aborting in-flight
+// sweeps mid-warmup and canceling queued and running jobs, instead of
+// waiting for them to run to completion — and the HTTP listener then
+// drains the (now fast-unwinding) connections for up to ten seconds.
 func serve(addr string, scale, workers, cacheEntries int) error {
 	e := copernicus.NewEngine()
 	if workers > 0 {
@@ -44,7 +47,12 @@ func serve(addr string, scale, workers, cacheEntries int) error {
 	case <-ctx.Done():
 	}
 	stop() // restore default signal handling: a second ^C kills immediately
-	fmt.Fprintln(os.Stderr, "copernicus: draining connections")
+	fmt.Fprintln(os.Stderr, "copernicus: canceling in-flight sweeps and jobs, draining connections")
+	// Cancel compute before draining: handlers blocked in engine warmup
+	// or measurement return promptly with a context error, and the job
+	// manager cancels queued and running jobs, so Shutdown below drains
+	// connections instead of waiting out multi-second sweeps.
+	svc.Shutdown()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(shutdownCtx); err != nil {

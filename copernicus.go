@@ -178,8 +178,16 @@ type SynthReport = synth.Report
 // times the warm streaming SpMV on the host. Both evaluate the same
 // encode-once plans — only the costing differs — so Engine methods with
 // a With suffix (CharacterizeWith, SweepWith, SweepFormatsWith,
-// RecommendWith) accept one; nil selects the analytic default.
+// SweepStreamWith, SweepGroupsWith, RecommendWith) accept a
+// context.Context and a Backend; nil selects the analytic default, and
+// a canceled context aborts the sweep mid-warmup with ctx.Err().
 type Backend = backend.Backend
+
+// SweepGroup is one completed (workload, partition size) group of a
+// streaming sweep (Engine.SweepGroupsWith): its results in format order
+// plus the group's compute wall time. Engine.SweepStreamWith flattens
+// groups to single results; Engine.Sweep collects the whole slab.
+type SweepGroup = core.SweepGroup
 
 // BackendMeasurement is one costed evaluation of a (plan, format) point.
 type BackendMeasurement = backend.Measurement

@@ -1,6 +1,8 @@
 package backend
 
 import (
+	"context"
+
 	"copernicus/internal/formats"
 	"copernicus/internal/hlsim"
 )
@@ -20,9 +22,10 @@ func (Analytic) ID() string { return "analytic" }
 func (Analytic) Parallelizable() bool { return true }
 
 // Evaluate runs the point through the modelled accelerator and reports
-// the modelled seconds.
-func (Analytic) Evaluate(pl *hlsim.Plan, k formats.Kind, x []float64) (Measurement, error) {
-	run, err := pl.Run(k, x)
+// the modelled seconds. Cancellation aborts a cold plan's warmup between
+// tile chunks; a warm point is pure arithmetic and runs to completion.
+func (Analytic) Evaluate(ctx context.Context, pl *hlsim.Plan, k formats.Kind, x []float64) (Measurement, error) {
+	run, err := pl.RunContext(ctx, k, x)
 	if err != nil {
 		return Measurement{}, err
 	}

@@ -18,6 +18,7 @@
 package backend
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -63,8 +64,11 @@ type Backend interface {
 	// Evaluate costs one (plan, format) point, multiplying by x. The
 	// plan's encode-once state is shared across backends; Evaluate pays
 	// only per-evaluation work (the functional dot products, plus timing
-	// for measured backends).
-	Evaluate(pl *hlsim.Plan, k formats.Kind, x []float64) (Measurement, error)
+	// for measured backends). A canceled ctx aborts promptly — between
+	// warmup tile chunks for every backend, and between timed samples for
+	// measured ones — returning ctx.Err() without corrupting shared plan
+	// state.
+	Evaluate(ctx context.Context, pl *hlsim.Plan, k formats.Kind, x []float64) (Measurement, error)
 
 	// Parallelizable reports whether concurrent Evaluate calls preserve
 	// result quality. The analytic model is pure and parallelizes

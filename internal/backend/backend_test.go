@@ -1,6 +1,7 @@
 package backend
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -37,7 +38,7 @@ func TestAnalyticMatchesPlanRun(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		meas, err := Analytic{}.Evaluate(pl, k, x)
+		meas, err := Analytic{}.Evaluate(context.Background(), pl, k, x)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -66,7 +67,7 @@ func TestNativeMeasures(t *testing.T) {
 	x := ones(pl.Matrix().Cols)
 	ref := pl.Matrix().MulVec(x)
 	n := &Native{Runs: 3}
-	meas, err := n.Evaluate(pl, formats.CSR, x)
+	meas, err := n.Evaluate(context.Background(), pl, formats.CSR, x)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +93,7 @@ func TestNativeMeasures(t *testing.T) {
 // TestNativeDefaultRuns: zero Runs selects the documented default.
 func TestNativeDefaultRuns(t *testing.T) {
 	pl := testPlan(t)
-	meas, err := (&Native{}).Evaluate(pl, formats.COO, ones(pl.Matrix().Cols))
+	meas, err := (&Native{}).Evaluate(context.Background(), pl, formats.COO, ones(pl.Matrix().Cols))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +106,7 @@ func TestNativeDefaultRuns(t *testing.T) {
 // the native backend too, not a panic.
 func TestNativePropagatesPlanErrors(t *testing.T) {
 	pl := testPlan(t)
-	if _, err := (&Native{}).Evaluate(pl, formats.Kind(99), ones(pl.Matrix().Cols)); err == nil {
+	if _, err := (&Native{}).Evaluate(context.Background(), pl, formats.Kind(99), ones(pl.Matrix().Cols)); err == nil {
 		t.Fatal("native accepted an unknown format kind")
 	}
 }

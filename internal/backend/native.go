@@ -1,6 +1,7 @@
 package backend
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"time"
@@ -61,14 +62,20 @@ func (*Native) ID() string { return "native" }
 // cores and inflate each other, so sweeps serialize native points.
 func (*Native) Parallelizable() bool { return false }
 
-// Evaluate measures the warm SpMV of one (plan, format) point.
-func (n *Native) Evaluate(pl *hlsim.Plan, k formats.Kind, x []float64) (Measurement, error) {
+// Evaluate measures the warm SpMV of one (plan, format) point. A
+// canceled ctx aborts the run between the warmup's tile chunks, between
+// calibration batches, and between timed samples — a measurement loop is
+// never left mid-flight holding the process-wide measurement lock.
+func (n *Native) Evaluate(ctx context.Context, pl *hlsim.Plan, k formats.Kind, x []float64) (Measurement, error) {
 	r := new(hlsim.Result)
 	// Warm-up: encode, decode-verify, functional arrays, and the output
 	// buffer allocation all happen here, outside the timed region. The
 	// warm RunInto path is allocation-free, so the samples below time
 	// pure SpMV work.
-	if err := pl.RunInto(k, x, r); err != nil {
+	if err := pl.RunIntoContext(ctx, k, x, r); err != nil {
+		return Measurement{}, err
+	}
+	if err := ctx.Err(); err != nil {
 		return Measurement{}, err
 	}
 
@@ -78,6 +85,9 @@ func (n *Native) Evaluate(pl *hlsim.Plan, k formats.Kind, x []float64) (Measurem
 	// Calibrate the batch size so one sample is long enough to trust.
 	batch := 1
 	for batch < maxBatch {
+		if err := ctx.Err(); err != nil {
+			return Measurement{}, err
+		}
 		start := time.Now()
 		for i := 0; i < batch; i++ {
 			if err := pl.RunInto(k, x, r); err != nil {
@@ -96,6 +106,9 @@ func (n *Native) Evaluate(pl *hlsim.Plan, k formats.Kind, x []float64) (Measurem
 	}
 	best := time.Duration(1<<63 - 1)
 	for s := 0; s < runs; s++ {
+		if err := ctx.Err(); err != nil {
+			return Measurement{}, err
+		}
 		start := time.Now()
 		for i := 0; i < batch; i++ {
 			if err := pl.RunInto(k, x, r); err != nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -44,18 +45,19 @@ type Recommendation struct {
 // specialized format fits a structured matrix, measure the whole pipeline
 // — decompressor mismatch can erase a format's storage advantage.
 func (e *Engine) Recommend(m *matrix.CSR, p int, candidates []formats.Kind, obj Objective) (Recommendation, error) {
-	return e.RecommendWith(nil, m, p, candidates, obj)
+	return e.RecommendWith(context.Background(), nil, m, p, candidates, obj)
 }
 
-// RecommendWith is Recommend under an explicit backend (nil selects the
-// analytic default): the ranking's latency axis is then the backend's
-// cost — modelled seconds for analytic, measured host-CPU wall time for
-// native — while the power/resource axes stay the synthesis estimates.
-func (e *Engine) RecommendWith(b backend.Backend, m *matrix.CSR, p int, candidates []formats.Kind, obj Objective) (Recommendation, error) {
+// RecommendWith is Recommend under an explicit context and backend (nil
+// selects the analytic default): the ranking's latency axis is then the
+// backend's cost — modelled seconds for analytic, measured host-CPU wall
+// time for native — while the power/resource axes stay the synthesis
+// estimates. A canceled ctx aborts the sweep behind the ranking.
+func (e *Engine) RecommendWith(ctx context.Context, b backend.Backend, m *matrix.CSR, p int, candidates []formats.Kind, obj Objective) (Recommendation, error) {
 	if len(candidates) == 0 {
 		candidates = formats.Sparse()
 	}
-	rs, err := e.SweepFormatsWith(b, "advisor", m, p, candidates)
+	rs, err := e.SweepFormatsWith(ctx, b, "advisor", m, p, candidates)
 	if err != nil {
 		return Recommendation{}, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 	"reflect"
@@ -91,7 +92,7 @@ func TestAnalyticBackendBitIdentical(t *testing.T) {
 					t.Fatalf("%s/%v/p=%d: Characterize diverged from pre-backend path:\ngot  %+v\nwant %+v",
 						name, k, p, got, want)
 				}
-				withB, err := e.CharacterizeWith(backend.Analytic{}, name, m, k, p)
+				withB, err := e.CharacterizeWith(context.Background(), backend.Analytic{}, name, m, k, p)
 				if err != nil {
 					t.Fatalf("%s/%v/p=%d: %v", name, k, p, err)
 				}
@@ -123,7 +124,7 @@ func TestNativeBackendEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	nat, err := e.SweepWith(&backend.Native{Runs: 2}, ws, kinds, []int{16})
+	nat, err := e.SweepWith(context.Background(), &backend.Native{Runs: 2}, ws, kinds, []int{16})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,11 +9,13 @@ package core
 
 import (
 	"container/list"
+	"context"
 	"fmt"
 	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"copernicus/internal/backend"
 	"copernicus/internal/formats"
@@ -320,9 +322,9 @@ func defaultBackend(b backend.Backend) backend.Backend {
 // and everything derived from it); the structural metrics come from the
 // plan's analytic cycle totals either way, and the functional output is
 // verified against the reference under every backend.
-func (e *Engine) characterizeOn(b backend.Backend, name string, pl *hlsim.Plan, k formats.Kind, x, ref []float64) (Result, error) {
+func (e *Engine) characterizeOn(ctx context.Context, b backend.Backend, name string, pl *hlsim.Plan, k formats.Kind, x, ref []float64) (Result, error) {
 	p := pl.P()
-	meas, err := b.Evaluate(pl, k, x)
+	meas, err := b.Evaluate(ctx, pl, k, x)
 	if err != nil {
 		return Result{}, fmt.Errorf("core: %s/%v/p=%d: %w", name, k, p, err)
 	}
@@ -381,20 +383,21 @@ func (e *Engine) characterizeOn(b backend.Backend, name string, pl *hlsim.Plan, 
 // software reference; a mismatch is a hard error, never a silently wrong
 // metric.
 func (e *Engine) Characterize(name string, m *matrix.CSR, k formats.Kind, p int) (Result, error) {
-	return e.CharacterizeWith(nil, name, m, k, p)
+	return e.CharacterizeWith(context.Background(), nil, name, m, k, p)
 }
 
-// CharacterizeWith is Characterize under an explicit backend (nil selects
-// the analytic default). The streaming plan is shared across backends —
-// only the costing differs.
-func (e *Engine) CharacterizeWith(b backend.Backend, name string, m *matrix.CSR, k formats.Kind, p int) (Result, error) {
+// CharacterizeWith is Characterize under an explicit context and backend
+// (nil selects the analytic default). The streaming plan is shared across
+// backends — only the costing differs. A canceled ctx aborts the point's
+// warmup (and a measured backend's timing loop) and returns ctx.Err().
+func (e *Engine) CharacterizeWith(ctx context.Context, b backend.Backend, name string, m *matrix.CSR, k formats.Kind, p int) (Result, error) {
 	b = defaultBackend(b)
 	pl, err := e.plan(m, p)
 	if err != nil {
 		return Result{}, fmt.Errorf("core: %s/%v/p=%d: %w", name, k, p, err)
 	}
 	x := testVector(m.Cols)
-	return e.characterizeOn(b, name, pl, k, x, m.MulVec(x))
+	return e.characterizeOn(ctx, b, name, pl, k, x, m.MulVec(x))
 }
 
 // SweepFormats characterizes one matrix across formats at one partition
@@ -402,12 +405,13 @@ func (e *Engine) CharacterizeWith(b backend.Backend, name string, m *matrix.CSR,
 // partitioning, operand vector, and reference MulVec are shared across
 // all formats of the point.
 func (e *Engine) SweepFormats(name string, m *matrix.CSR, p int, kinds []formats.Kind) ([]Result, error) {
-	return e.SweepFormatsWith(nil, name, m, p, kinds)
+	return e.SweepFormatsWith(context.Background(), nil, name, m, p, kinds)
 }
 
-// SweepFormatsWith is SweepFormats under an explicit backend (nil selects
-// the analytic default).
-func (e *Engine) SweepFormatsWith(b backend.Backend, name string, m *matrix.CSR, p int, kinds []formats.Kind) ([]Result, error) {
+// SweepFormatsWith is SweepFormats under an explicit context and backend
+// (nil selects the analytic default). Cancellation is checked between
+// formats and inside each format's warmup.
+func (e *Engine) SweepFormatsWith(ctx context.Context, b backend.Backend, name string, m *matrix.CSR, p int, kinds []formats.Kind) ([]Result, error) {
 	b = defaultBackend(b)
 	pl, err := e.plan(m, p)
 	if err != nil {
@@ -417,7 +421,10 @@ func (e *Engine) SweepFormatsWith(b backend.Backend, name string, m *matrix.CSR,
 	ref := m.MulVec(x)
 	out := make([]Result, 0, len(kinds))
 	for _, k := range kinds {
-		r, err := e.characterizeOn(b, name, pl, k, x, ref)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		r, err := e.characterizeOn(ctx, b, name, pl, k, x, ref)
 		if err != nil {
 			return nil, err
 		}
@@ -432,22 +439,79 @@ func (e *Engine) SweepFormatsWith(b backend.Backend, name string, m *matrix.CSR,
 // GOMAXPROCS by default, configurable with SetWorkers). Each group shares
 // one streaming plan, one operand vector, and one reference MulVec across
 // its formats. Output ordering and values are identical to a serial run:
-// results land at their precomputed indices and every group is an
+// groups are emitted in workload-major index order and every group is an
 // independent deterministic computation.
 func (e *Engine) Sweep(ws []workloads.Workload, kinds []formats.Kind, ps []int) ([]Result, error) {
-	return e.SweepWith(nil, ws, kinds, ps)
+	return e.SweepWith(context.Background(), nil, ws, kinds, ps)
 }
 
-// SweepWith is Sweep under an explicit backend (nil selects the analytic
-// default). Backends that are not Parallelizable — wall-clock measurement
-// degrades under contention — run their groups serially regardless of the
-// worker-pool setting; the encode-once plans are still shared, so the
-// serialization costs only the dot work.
-func (e *Engine) SweepWith(b backend.Backend, ws []workloads.Workload, kinds []formats.Kind, ps []int) ([]Result, error) {
+// SweepWith is Sweep under an explicit context and backend (nil selects
+// the analytic default). Backends that are not Parallelizable —
+// wall-clock measurement degrades under contention — run their groups
+// serially regardless of the worker-pool setting; the encode-once plans
+// are still shared, so the serialization costs only the dot work. It is
+// a thin collector over SweepStreamWith.
+func (e *Engine) SweepWith(ctx context.Context, b backend.Backend, ws []workloads.Workload, kinds []formats.Kind, ps []int) ([]Result, error) {
+	out := make([]Result, 0, len(ws)*len(ps)*len(kinds))
+	err := e.SweepStreamWith(ctx, b, ws, kinds, ps, func(r Result) error {
+		out = append(out, r)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SweepGroup is one completed (workload, partition size) group of a
+// streaming sweep: its results in format order, plus the group's compute
+// wall time as observed by the worker that ran it (plan warmup included
+// on a cold point — the first-group latency a streaming client sees).
+type SweepGroup struct {
+	Workload string
+	P        int
+	Results  []Result
+	Elapsed  time.Duration
+}
+
+// SweepStream is the emit-as-completed form of Sweep: results are
+// delivered to yield one at a time, as soon as their (workload, p) group
+// finishes, instead of materializing after the last group. Ordering is
+// the deterministic workload-major order of Sweep — groups compute in
+// parallel and buffer per-group, but emission follows index order, so
+// the concatenated stream equals the Sweep slab exactly.
+//
+// yield runs on the calling goroutine; returning a non-nil error stops
+// the sweep (in-flight groups are canceled) and propagates that error. A
+// canceled ctx aborts compute mid-warmup and returns ctx.Err().
+func (e *Engine) SweepStream(ctx context.Context, ws []workloads.Workload, kinds []formats.Kind, ps []int, yield func(Result) error) error {
+	return e.SweepStreamWith(ctx, nil, ws, kinds, ps, yield)
+}
+
+// SweepStreamWith is SweepStream under an explicit backend (nil selects
+// the analytic default).
+func (e *Engine) SweepStreamWith(ctx context.Context, b backend.Backend, ws []workloads.Workload, kinds []formats.Kind, ps []int, yield func(Result) error) error {
+	return e.SweepGroupsWith(ctx, b, ws, kinds, ps, func(g SweepGroup) error {
+		for _, r := range g.Results {
+			if err := yield(r); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// SweepGroupsWith is the group-granular streaming sweep: yield receives
+// each completed (workload, p) group — results plus compute timing — in
+// deterministic workload-major order while later groups are still
+// computing. It is the primitive under SweepStream/Sweep and the job
+// subsystem's progress feed.
+func (e *Engine) SweepGroupsWith(ctx context.Context, b backend.Backend, ws []workloads.Workload, kinds []formats.Kind, ps []int, yield func(SweepGroup) error) error {
 	b = defaultBackend(b)
 	groups := len(ws) * len(ps)
-	out := make([]Result, groups*len(kinds))
-	errs := make([]error, groups)
+	if groups == 0 || len(kinds) == 0 {
+		return ctx.Err()
+	}
 	workers := e.Workers()
 	if !b.Parallelizable() {
 		workers = 1
@@ -459,54 +523,81 @@ func (e *Engine) SweepWith(b backend.Backend, ws []workloads.Workload, kinds []f
 		workers = 1
 	}
 
-	// failed makes every worker stop claiming groups after the first
-	// error; groups are claimed in index order, so the lowest-indexed
-	// failure always runs and the returned error is deterministic.
+	// Workers claim group indices in order and deposit each group's
+	// outcome in its slot, closing ready[g] to hand it to the emitter.
+	// After the first failure workers stop claiming *new* groups (claimed
+	// ones run to completion, keeping earlier groups' results and the
+	// lowest-indexed error deterministic); a context cancellation aborts
+	// claimed groups mid-warmup too.
+	type groupOut struct {
+		g   SweepGroup
+		err error
+	}
+	ictx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	outs := make([]groupOut, groups)
+	ready := make([]chan struct{}, groups)
+	for i := range ready {
+		ready[i] = make(chan struct{})
+	}
+	var next atomic.Int64
 	var failed atomic.Bool
-	runGroup := func(g int) {
-		w := ws[g/len(ps)]
-		p := ps[g%len(ps)]
-		rs, err := e.SweepFormatsWith(b, w.ID, w.M, p, kinds)
-		if err != nil {
-			errs[g] = err
-			failed.Store(true)
-			return
-		}
-		copy(out[g*len(kinds):(g+1)*len(kinds)], rs)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !failed.Load() && ictx.Err() == nil {
+				g := int(next.Add(1)) - 1
+				if g >= groups {
+					return
+				}
+				w := ws[g/len(ps)]
+				p := ps[g%len(ps)]
+				start := time.Now()
+				rs, err := e.SweepFormatsWith(ictx, b, w.ID, w.M, p, kinds)
+				outs[g] = groupOut{
+					g:   SweepGroup{Workload: w.ID, P: p, Results: rs, Elapsed: time.Since(start)},
+					err: err,
+				}
+				if err != nil {
+					failed.Store(true)
+				}
+				close(ready[g])
+				// Hand the processor to the emitter so a completed group
+				// streams out now rather than after this worker's next
+				// compute slice — on a single-CPU host the close alone
+				// does not preempt, and time-to-first-result would
+				// otherwise degenerate to the whole sweep.
+				runtime.Gosched()
+			}
+		}()
 	}
 
-	if workers == 1 {
-		for g := 0; g < groups && !failed.Load(); g++ {
-			runGroup(g)
+	// The emitter walks groups in index order. A group that was never
+	// claimed (workers bailed on failure or cancellation) never closes its
+	// ready channel, but the emitter always hits the terminating condition
+	// — the erroring group or ctx.Done — first, because claims are made in
+	// index order.
+	err := func() error {
+		for g := 0; g < groups; g++ {
+			select {
+			case <-ready[g]:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+			if outs[g].err != nil {
+				return outs[g].err
+			}
+			if err := yield(outs[g].g); err != nil {
+				return err
+			}
 		}
-	} else {
-		var next int
-		var nextMu sync.Mutex
-		var wg sync.WaitGroup
-		for i := 0; i < workers; i++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for !failed.Load() {
-					nextMu.Lock()
-					g := next
-					next++
-					nextMu.Unlock()
-					if g >= groups {
-						return
-					}
-					runGroup(g)
-				}
-			}()
-		}
-		wg.Wait()
-	}
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
+		return nil
+	}()
+	cancel() // stop any still-running groups before returning
+	wg.Wait()
+	return err
 }
 
 // Filter returns the results matching the given predicate.

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"copernicus/internal/formats"
+	"copernicus/internal/gen"
+	"copernicus/internal/workloads"
+)
+
+func streamSuite() ([]workloads.Workload, []formats.Kind, []int) {
+	ws := []workloads.Workload{
+		{ID: "a", M: gen.Random(160, 0.05, 3)},
+		{ID: "b", M: gen.Band(192, 9, 5)},
+	}
+	return ws, formats.Core(), []int{8, 16}
+}
+
+// TestSweepStreamMatchesSweep: the concatenated stream must equal the
+// batch slab exactly — same order, same values — on a cold engine, and
+// again on a warm one.
+func TestSweepStreamMatchesSweep(t *testing.T) {
+	ws, kinds, ps := streamSuite()
+	want, err := New().Sweep(ws, kinds, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New()
+	for _, pass := range []string{"cold", "warm"} {
+		var got []Result
+		err := e.SweepStream(context.Background(), ws, kinds, ps, func(r Result) error {
+			got = append(got, r)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%s stream: %v", pass, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s streamed results diverge from the batch sweep", pass)
+		}
+	}
+}
+
+// TestSweepGroupsOrderAndTiming: groups arrive in workload-major order
+// with their point counts and a positive compute time.
+func TestSweepGroupsOrderAndTiming(t *testing.T) {
+	ws, kinds, ps := streamSuite()
+	var seen []SweepGroup
+	err := New().SweepGroupsWith(context.Background(), nil, ws, kinds, ps, func(g SweepGroup) error {
+		seen = append(seen, g)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(ws)*len(ps) {
+		t.Fatalf("got %d groups, want %d", len(seen), len(ws)*len(ps))
+	}
+	for i, g := range seen {
+		wantW := ws[i/len(ps)].ID
+		wantP := ps[i%len(ps)]
+		if g.Workload != wantW || g.P != wantP {
+			t.Fatalf("group %d = (%s, %d), want (%s, %d)", i, g.Workload, g.P, wantW, wantP)
+		}
+		if len(g.Results) != len(kinds) {
+			t.Fatalf("group %d has %d results, want %d", i, len(g.Results), len(kinds))
+		}
+		if g.Elapsed <= 0 {
+			t.Fatalf("group %d reports non-positive compute time %v", i, g.Elapsed)
+		}
+	}
+}
+
+// TestSweepStreamYieldErrorStops: a yield error aborts the sweep and
+// propagates unchanged.
+func TestSweepStreamYieldErrorStops(t *testing.T) {
+	ws, kinds, ps := streamSuite()
+	boom := errors.New("consumer gone")
+	calls := 0
+	err := New().SweepStream(context.Background(), ws, kinds, ps, func(Result) error {
+		calls++
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the yield error", err)
+	}
+	if calls != 1 {
+		t.Fatalf("yield called %d times after erroring, want 1", calls)
+	}
+}
+
+// TestSweepCancelMidWarmup is the acceptance test for end-to-end
+// cancellation: on a large synthetic matrix, a context canceled shortly
+// after the sweep starts must surface ctx.Err() well before the
+// uncancelled sweep's duration — the engine aborts plan warmup between
+// tile-encode chunks instead of running the slab to completion.
+func TestSweepCancelMidWarmup(t *testing.T) {
+	m := gen.Random(3072, 0.004, 11)
+	ws := []workloads.Workload{{ID: "big", M: m}}
+	kinds := formats.All()
+	ps := []int{8, 16, 32}
+
+	start := time.Now()
+	if _, err := New().Sweep(ws, kinds, ps); err != nil {
+		t.Fatal(err)
+	}
+	full := time.Since(start)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(full / 20)
+		cancel()
+	}()
+	start = time.Now()
+	_, err := New().SweepWith(ctx, nil, ws, kinds, ps)
+	canceled := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if canceled >= full/2 {
+		t.Fatalf("canceled sweep took %v of an uncancelled %v — cancellation did not abort the warmup promptly", canceled, full)
+	}
+}
+
+// TestSweepWithPreCanceledContext returns immediately with ctx.Err().
+func TestSweepWithPreCanceledContext(t *testing.T) {
+	ws, kinds, ps := streamSuite()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := New().SweepWith(ctx, nil, ws, kinds, ps); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -1,6 +1,7 @@
 package hlsim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -60,14 +61,29 @@ type Plan struct {
 	fmts    [formats.NumKinds]planSlot
 }
 
-// planSlot is one format's cached state: separate once-guards for the
-// encode and verify phases (replacing the old plan-wide mutex that
-// serialized every format behind whichever encode ran first) and an
+// planSlot is one format's cached state: separate leader/waiter guards
+// for the encode and verify phases (replacing the old plan-wide mutex
+// that serialized every format behind whichever encode ran first) and an
 // atomically published result so stats readers never race the encode.
+//
+// Unlike a sync.Once, the guards are cancellation-safe: a leader whose
+// context is canceled mid-phase abandons the slot *unpublished* — no
+// half-encoded state is ever visible — and the next caller (or a waiter
+// that was parked on the aborted leader) re-runs the phase from scratch
+// under its own context. Completed phases, including sticky model
+// errors, are published exactly once and never re-run.
 type planSlot struct {
-	encodeOnce sync.Once
-	verifyOnce sync.Once
-	pf         atomic.Pointer[planFormat]
+	mu sync.Mutex
+	// encWait is non-nil while a leader encodes; waiters park on it and
+	// re-check the slot when it closes (completion or abort).
+	encWait chan struct{}
+	// pf is published only by a leader that completed the encode (with
+	// results or a sticky model error), never by a canceled one.
+	pf atomic.Pointer[planFormat]
+	// verWait/verified play the same roles for the decode-and-verify
+	// phase; sticky verify errors live in pf.
+	verWait  chan struct{}
+	verified bool
 }
 
 // planFormat caches everything format-dependent: per-tile cycle costs,
@@ -247,18 +263,58 @@ func (pl *Plan) ensureRows() {
 
 // format returns the cached per-format state, encoding and pricing every
 // non-zero tile exactly once per format — under that format's own
-// once-guard, so distinct formats warm concurrently. It does not run the
-// decode cross-check; see verify. A Kind outside the implemented range is
-// an ErrUnknownFormat error, not a panic, so it propagates through
-// Characterize/Sweep to callers (and services) as a client fault.
-func (pl *Plan) format(k formats.Kind) (*planFormat, error) {
+// leader guard, so distinct formats warm concurrently. It does not run
+// the decode cross-check; see verify. A Kind outside the implemented
+// range is an ErrUnknownFormat error, not a panic, so it propagates
+// through Characterize/Sweep to callers (and services) as a client fault.
+//
+// Cancellation discipline: a canceled ctx aborts the warmup between
+// tile-encode chunks and returns ctx.Err(). If the canceled caller was
+// the encode leader, the slot is left idle (never half-encoded), so a
+// later characterization of the same format on this cached plan re-runs
+// the encode cleanly; if it was a waiter, the leader is unaffected.
+func (pl *Plan) format(ctx context.Context, k formats.Kind) (*planFormat, error) {
 	if k < 0 || int(k) >= formats.NumKinds {
 		return nil, fmt.Errorf("%w: kind %d", ErrUnknownFormat, int(k))
 	}
 	slot := &pl.fmts[k]
-	slot.encodeOnce.Do(func() { slot.pf.Store(pl.encodeFormat(k)) })
-	pf := slot.pf.Load()
-	return pf, pf.err()
+	for {
+		if pf := slot.pf.Load(); pf != nil {
+			return pf, pf.err()
+		}
+		slot.mu.Lock()
+		if pf := slot.pf.Load(); pf != nil {
+			slot.mu.Unlock()
+			return pf, pf.err()
+		}
+		if w := slot.encWait; w != nil {
+			slot.mu.Unlock()
+			select {
+			case <-w:
+				// The leader finished or aborted; re-check the slot (and
+				// become the next leader if it aborted).
+				continue
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		w := make(chan struct{})
+		slot.encWait = w
+		slot.mu.Unlock()
+
+		pf, err := pl.encodeFormat(ctx, k)
+		slot.mu.Lock()
+		slot.encWait = nil
+		if err == nil {
+			slot.pf.Store(pf)
+		}
+		slot.mu.Unlock()
+		close(w)
+		if err != nil {
+			return nil, err // canceled mid-encode; slot stays idle
+		}
+		return pf, pf.err()
+	}
 }
 
 // Tile-parallel warmup tuning: chunks of tiles are claimed atomically so
@@ -273,8 +329,10 @@ const (
 // plus however many pool helpers are free right now, into
 // index-addressed slots; aggregation always runs serially in tile order,
 // so the totals (including the float balance sum) are bit-identical to a
-// serial encode.
-func (pl *Plan) encodeFormat(k formats.Kind) *planFormat {
+// serial encode. Cancellation is checked between chunks (by the caller
+// and every helper); a canceled encode returns ctx.Err() and the partial
+// planFormat is discarded by the caller, never published.
+func (pl *Plan) encodeFormat(ctx context.Context, k formats.Kind) (*planFormat, error) {
 	if planEncodeHook != nil {
 		planEncodeHook(k)
 	}
@@ -283,7 +341,7 @@ func (pl *Plan) encodeFormat(k formats.Kind) *planFormat {
 	pf := &planFormat{tiles: make([]TileResult, n), encs: make([]formats.Encoded, n)}
 	var next atomic.Int64
 	work := func() {
-		for {
+		for ctx.Err() == nil {
 			lo := int(next.Add(encodeChunk)) - encodeChunk
 			if lo >= n {
 				return
@@ -326,8 +384,11 @@ func (pl *Plan) encodeFormat(k formats.Kind) *planFormat {
 	} else {
 		work()
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if pf.err() != nil {
-		return pf
+		return pf, nil
 	}
 	for i := range pf.tiles {
 		tr := &pf.tiles[i]
@@ -348,7 +409,7 @@ func (pl *Plan) encodeFormat(k formats.Kind) *planFormat {
 		pf.agg.Footprint.IndexLaneBytes += tr.Footprint.IndexLaneBytes
 		pf.agg.sumBalance += tr.Balance()
 	}
-	return pf
+	return pf, nil
 }
 
 // verify returns the cached per-format state after the decode-and-verify
@@ -357,27 +418,69 @@ func (pl *Plan) encodeFormat(k formats.Kind) *planFormat {
 // surfaces here rather than as a silently wrong SpMV. Functional entry
 // points (Run, RunParallel, RunSpMM) call it; cycle-model-only consumers
 // (Trace, Schedule) skip it, as the pre-plan one-shots did.
-func (pl *Plan) verify(k formats.Kind) (*planFormat, error) {
-	pf, err := pl.format(k)
+//
+// Like format, verify is cancellation-safe: a leader canceled between
+// tiles leaves the encodings unconsumed and the slot unverified, so a
+// later caller re-runs the cross-check in full.
+func (pl *Plan) verify(ctx context.Context, k formats.Kind) (*planFormat, error) {
+	pf, err := pl.format(ctx, k)
 	if err != nil {
 		return pf, err
 	}
-	pl.fmts[k].verifyOnce.Do(func() {
-		encs := pf.encs
-		pf.encs = nil // encodings are not needed once cross-checked
-		for ti, tile := range pl.pt.Tiles {
-			dec, err := encs[ti].Decode()
-			if err != nil {
-				pf.setErr(fmt.Errorf("hlsim: tile (%d,%d): %w", tile.Row, tile.Col, err))
-				return
-			}
-			if err := crossCheck(k, tile, dec); err != nil {
-				pf.setErr(err)
-				return
+	slot := &pl.fmts[k]
+	for {
+		slot.mu.Lock()
+		if slot.verified {
+			slot.mu.Unlock()
+			return pf, pf.err()
+		}
+		if w := slot.verWait; w != nil {
+			slot.mu.Unlock()
+			select {
+			case <-w:
+				continue
+			case <-ctx.Done():
+				return nil, ctx.Err()
 			}
 		}
-	})
-	return pf, pf.err()
+		w := make(chan struct{})
+		slot.verWait = w
+		slot.mu.Unlock()
+
+		done := pl.runVerify(ctx, k, pf)
+		slot.mu.Lock()
+		slot.verWait = nil
+		slot.verified = done
+		slot.mu.Unlock()
+		close(w)
+		if !done {
+			return nil, ctx.Err()
+		}
+		return pf, pf.err()
+	}
+}
+
+// runVerify cross-checks every tile's encoding, returning false if the
+// context was canceled first (the encodings stay unconsumed for a retry)
+// and true on completion — success or a sticky error published in pf.
+func (pl *Plan) runVerify(ctx context.Context, k formats.Kind, pf *planFormat) bool {
+	encs := pf.encs
+	for ti, tile := range pl.pt.Tiles {
+		if ti%encodeChunk == 0 && ctx.Err() != nil {
+			return false
+		}
+		dec, err := encs[ti].Decode()
+		if err != nil {
+			pf.setErr(fmt.Errorf("hlsim: tile (%d,%d): %w", tile.Row, tile.Col, err))
+			break
+		}
+		if err := crossCheck(k, tile, dec); err != nil {
+			pf.setErr(err)
+			break
+		}
+	}
+	pf.encs = nil // encodings are not needed once cross-checked
+	return true
 }
 
 // crossCheck compares a decoded tile against the original, sparse row by
@@ -438,8 +541,17 @@ func (pl *Plan) spmv(x []float64, y []float64) {
 // in format k, multiplying by x. Cycle totals come from the cached
 // per-format aggregates; only the functional dot work is paid per call.
 func (pl *Plan) Run(k formats.Kind, x []float64) (*Result, error) {
+	return pl.RunContext(context.Background(), k, x)
+}
+
+// RunContext is Run under a context: a cancellation aborts the one-time
+// warmup (encode and decode-verify) between tile chunks and returns
+// ctx.Err() without poisoning the plan's per-format slots — a later run
+// of the same format redoes the aborted phase cleanly. A warm format
+// ignores the context entirely (the remaining work is pure dot products).
+func (pl *Plan) RunContext(ctx context.Context, k formats.Kind, x []float64) (*Result, error) {
 	r := new(Result)
-	if err := pl.RunInto(k, x, r); err != nil {
+	if err := pl.RunIntoContext(ctx, k, x, r); err != nil {
 		return nil, err
 	}
 	return r, nil
@@ -454,10 +566,17 @@ func (pl *Plan) Run(k formats.Kind, x []float64) (*Result, error) {
 // second Result, as kernels.Accelerator's double buffering does — the
 // aliasing is detected and rejected.
 func (pl *Plan) RunInto(k formats.Kind, x []float64, r *Result) error {
+	return pl.RunIntoContext(context.Background(), k, x, r)
+}
+
+// RunIntoContext is RunInto under a context; see RunContext for the
+// cancellation semantics. The warm path is unchanged: zero allocations
+// and no context checks once the format's encode and verify are cached.
+func (pl *Plan) RunIntoContext(ctx context.Context, k formats.Kind, x []float64, r *Result) error {
 	if len(x) != pl.m.Cols {
 		return fmt.Errorf("hlsim: vector length %d for %d-column matrix", len(x), pl.m.Cols)
 	}
-	pf, err := pl.verify(k)
+	pf, err := pl.verify(ctx, k)
 	if err != nil {
 		return err
 	}
@@ -503,7 +622,7 @@ func (pl *Plan) RunParallel(k formats.Kind, x []float64, lanes int) (*ParallelRe
 	if len(x) != pl.m.Cols {
 		return nil, fmt.Errorf("hlsim: vector length %d for %d-column matrix", len(x), pl.m.Cols)
 	}
-	pf, err := pl.verify(k)
+	pf, err := pl.verify(context.Background(), k)
 	if err != nil {
 		return nil, err
 	}
@@ -537,7 +656,7 @@ func (pl *Plan) RunSpMM(k formats.Kind, b []float64, cols int) (*SpMMResult, err
 	if len(b) != pl.m.Cols*cols {
 		return nil, fmt.Errorf("hlsim: operand is %d values, want %d×%d", len(b), pl.m.Cols, cols)
 	}
-	pf, err := pl.verify(k)
+	pf, err := pl.verify(context.Background(), k)
 	if err != nil {
 		return nil, err
 	}
@@ -570,7 +689,7 @@ func (pl *Plan) RunSpMM(k formats.Kind, b []float64, cols int) (*SpMMResult, err
 
 // Trace returns the per-partition streaming record in streaming order.
 func (pl *Plan) Trace(k formats.Kind) ([]TileTrace, error) {
-	pf, err := pl.format(k)
+	pf, err := pl.format(context.Background(), k)
 	if err != nil {
 		return nil, err
 	}
@@ -598,7 +717,7 @@ func (pl *Plan) Trace(k formats.Kind) ([]TileTrace, error) {
 // Schedule computes the event-level three-stage pipeline timeline from
 // the cached per-tile costs.
 func (pl *Plan) Schedule(k formats.Kind) (*Schedule, error) {
-	pf, err := pl.format(k)
+	pf, err := pl.format(context.Background(), k)
 	if err != nil {
 		return nil, err
 	}

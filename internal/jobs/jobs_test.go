@@ -1,0 +1,351 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// waitState polls until the job reaches the wanted state or times out.
+func waitState(t *testing.T, m *Manager, id string, want State) Info {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ji, ok := m.Get(id)
+		if !ok {
+			t.Fatalf("job %s disappeared", id)
+		}
+		if ji.State == want {
+			return ji
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s, want %s", id, ji.State, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestJobLifecycle: a submitted job runs, reports grouped progress, and
+// finishes done with its result retained and its timings recorded.
+func TestJobLifecycle(t *testing.T) {
+	m := NewManager(context.Background(), 1, 4)
+	ji, err := m.Submit("sweep demo", 5, func(ctx context.Context, report func(int, GroupTiming)) (any, error) {
+		report(2, GroupTiming{Workload: "a", P: 8, Points: 2, Seconds: 0.1})
+		report(3, GroupTiming{Workload: "a", P: 16, Points: 3, Seconds: 0.2})
+		return "slab", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ji.State != StateQueued || ji.Total != 5 || ji.ID == "" {
+		t.Fatalf("submit snapshot = %+v", ji)
+	}
+	done := waitState(t, m, ji.ID, StateDone)
+	if done.Done != 5 || len(done.Groups) != 2 || done.Error != "" {
+		t.Fatalf("done snapshot = %+v", done)
+	}
+	if done.StartedAt == nil || done.FinishedAt == nil {
+		t.Fatal("done job missing timestamps")
+	}
+	res, _, ok := m.Result(ji.ID)
+	if !ok || res != "slab" {
+		t.Fatalf("Result = %v, %v", res, ok)
+	}
+	if got := m.List(); len(got) != 1 || got[0].ID != ji.ID {
+		t.Fatalf("List = %+v", got)
+	}
+}
+
+// TestJobFailure: a task error lands the job in failed with the cause.
+func TestJobFailure(t *testing.T) {
+	m := NewManager(context.Background(), 1, 4)
+	ji, err := m.Submit("doomed", 1, func(context.Context, func(int, GroupTiming)) (any, error) {
+		return nil, errors.New("matrix deleted")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := waitState(t, m, ji.ID, StateFailed)
+	if failed.Error != "matrix deleted" {
+		t.Fatalf("failed.Error = %q", failed.Error)
+	}
+}
+
+// TestJobCancelRunning: canceling a running job cancels its context; the
+// task unwinds and the job lands in canceled.
+func TestJobCancelRunning(t *testing.T) {
+	m := NewManager(context.Background(), 1, 4)
+	started := make(chan struct{})
+	ji, err := m.Submit("long sweep", 10, func(ctx context.Context, report func(int, GroupTiming)) (any, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if _, ok := m.Cancel(ji.ID); !ok {
+		t.Fatal("Cancel: unknown job")
+	}
+	canceled := waitState(t, m, ji.ID, StateCanceled)
+	if canceled.Error == "" {
+		t.Fatal("canceled job carries no cause")
+	}
+}
+
+// TestJobCancelQueued: a job canceled before a runner picks it up goes
+// terminal immediately and is never run.
+func TestJobCancelQueued(t *testing.T) {
+	m := NewManager(context.Background(), 1, 4)
+	release := make(chan struct{})
+	blocker, err := m.Submit("blocker", 1, func(ctx context.Context, _ func(int, GroupTiming)) (any, error) {
+		<-release
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, blocker.ID, StateRunning)
+
+	ran := make(chan struct{})
+	queued, err := m.Submit("queued", 1, func(context.Context, func(int, GroupTiming)) (any, error) {
+		close(ran)
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ji, ok := m.Cancel(queued.ID)
+	if !ok || ji.State != StateCanceled {
+		t.Fatalf("cancel queued job: state %s, ok %v", ji.State, ok)
+	}
+	close(release)
+	waitState(t, m, blocker.ID, StateDone)
+	select {
+	case <-ran:
+		t.Fatal("canceled queued job still ran")
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+// TestJobQueueFull: the bounded queue sheds load with ErrQueueFull.
+func TestJobQueueFull(t *testing.T) {
+	m := NewManager(context.Background(), 1, 1)
+	release := make(chan struct{})
+	defer close(release)
+	block := func(ctx context.Context, _ func(int, GroupTiming)) (any, error) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return nil, nil
+	}
+	running, err := m.Submit("running", 1, block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, running.ID, StateRunning)
+	if _, err := m.Submit("queued", 1, block); err != nil {
+		t.Fatalf("queue slot should be free: %v", err)
+	}
+	if _, err := m.Submit("rejected", 1, block); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+}
+
+// TestManagerShutdownCancelsEverything: canceling the root context
+// cancels the running job, marks queued jobs canceled, winds the
+// runners down, and rejects new submissions.
+func TestManagerShutdownCancelsEverything(t *testing.T) {
+	root, stop := context.WithCancel(context.Background())
+	m := NewManager(root, 1, 4)
+	started := make(chan struct{})
+	running, err := m.Submit("running", 1, func(ctx context.Context, _ func(int, GroupTiming)) (any, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	queued, err := m.Submit("queued", 1, func(context.Context, func(int, GroupTiming)) (any, error) {
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop()
+	m.Wait()
+	if ji, _ := m.Get(running.ID); ji.State != StateCanceled {
+		t.Fatalf("running job state after shutdown = %s", ji.State)
+	}
+	if ji, _ := m.Get(queued.ID); ji.State != StateCanceled {
+		t.Fatalf("queued job state after shutdown = %s", ji.State)
+	}
+	if _, err := m.Submit("late", 1, func(context.Context, func(int, GroupTiming)) (any, error) {
+		return nil, nil
+	}); !errors.Is(err, ErrShuttingDown) {
+		t.Fatalf("post-shutdown submit err = %v, want ErrShuttingDown", err)
+	}
+}
+
+// TestSubscribeDeliversMonotoneProgressEndingTerminal: a subscriber sees
+// non-decreasing done counts and always observes the terminal snapshot,
+// even with latest-wins coalescing.
+func TestSubscribeDeliversMonotoneProgressEndingTerminal(t *testing.T) {
+	m := NewManager(context.Background(), 1, 4)
+	gate := make(chan struct{})
+	ji, err := m.Submit("progress", 4, func(ctx context.Context, report func(int, GroupTiming)) (any, error) {
+		<-gate // subscribe first, so at least one progress event is observable
+		for i := 0; i < 4; i++ {
+			report(1, GroupTiming{Workload: "w", P: 8, Points: 1})
+		}
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, unsub, ok := m.Subscribe(ji.ID)
+	if !ok {
+		t.Fatal("Subscribe: unknown job")
+	}
+	defer unsub()
+	close(gate)
+
+	last := -1
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case snap := <-ch:
+			if snap.Done < last {
+				t.Fatalf("progress went backwards: %d after %d", snap.Done, last)
+			}
+			last = snap.Done
+			if snap.State.Terminal() {
+				if snap.State != StateDone || snap.Done != 4 {
+					t.Fatalf("terminal snapshot = %+v", snap)
+				}
+				return
+			}
+		case <-deadline:
+			t.Fatal("never observed the terminal snapshot")
+		}
+	}
+}
+
+// TestDeleteRules: active jobs cannot be deleted; terminal ones can, and
+// unknown IDs are distinguished.
+func TestDeleteRules(t *testing.T) {
+	m := NewManager(context.Background(), 1, 4)
+	release := make(chan struct{})
+	ji, err := m.Submit("active", 1, func(ctx context.Context, _ func(int, GroupTiming)) (any, error) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, ji.ID, StateRunning)
+	if deleted, ok := m.Delete(ji.ID); deleted || !ok {
+		t.Fatalf("Delete(active) = %v, %v; want false, true", deleted, ok)
+	}
+	close(release)
+	waitState(t, m, ji.ID, StateDone)
+	if deleted, ok := m.Delete(ji.ID); !deleted || !ok {
+		t.Fatalf("Delete(done) = %v, %v; want true, true", deleted, ok)
+	}
+	if _, ok := m.Get(ji.ID); ok {
+		t.Fatal("deleted job still addressable")
+	}
+	if _, ok := m.Delete("job-404"); ok {
+		t.Fatal("unknown job reported found")
+	}
+}
+
+// TestCancelQueuedFreesSlot: canceling queued jobs must release their
+// admission slots immediately — a queue full of canceled carcasses must
+// not shed live submissions.
+func TestCancelQueuedFreesSlot(t *testing.T) {
+	m := NewManager(context.Background(), 1, 2)
+	release := make(chan struct{})
+	defer close(release)
+	block := func(ctx context.Context, _ func(int, GroupTiming)) (any, error) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return nil, nil
+	}
+	running, err := m.Submit("running", 1, block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, running.ID, StateRunning)
+	// Fill the queue, then cancel everything queued.
+	var queued []Info
+	for i := 0; i < 2; i++ {
+		ji, err := m.Submit("queued", 1, block)
+		if err != nil {
+			t.Fatal(err)
+		}
+		queued = append(queued, ji)
+	}
+	if _, err := m.Submit("over", 1, block); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("pre-cancel submit err = %v, want ErrQueueFull", err)
+	}
+	for _, ji := range queued {
+		if info, ok := m.Cancel(ji.ID); !ok || info.State != StateCanceled {
+			t.Fatalf("cancel %s: %v %v", ji.ID, info.State, ok)
+		}
+	}
+	// The slots are free again while the runner is still busy.
+	if _, err := m.Submit("after-cancel", 1, block); err != nil {
+		t.Fatalf("post-cancel submit err = %v, want nil", err)
+	}
+}
+
+// TestSubmitShutdownRace: a job admitted concurrently with shutdown must
+// end terminal (canceled), never stranded queued, and Wait must return.
+func TestSubmitShutdownRace(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		root, stop := context.WithCancel(context.Background())
+		m := NewManager(root, 1, 8)
+		done := make(chan Info, 1)
+		go func() {
+			ji, err := m.Submit("racer", 1, func(ctx context.Context, _ func(int, GroupTiming)) (any, error) {
+				return nil, ctx.Err()
+			})
+			if err != nil {
+				done <- Info{State: StateCanceled} // rejected: fine
+				return
+			}
+			done <- ji
+		}()
+		stop()
+		ji := <-done
+		m.Wait()
+		if ji.ID != "" {
+			deadline := time.Now().Add(2 * time.Second)
+			for {
+				got, ok := m.Get(ji.ID)
+				if !ok {
+					t.Fatalf("iter %d: job vanished", i)
+				}
+				if got.State.Terminal() {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("iter %d: job stranded in %s after shutdown", i, got.State)
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}
+}

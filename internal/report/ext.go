@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"fmt"
 
 	"copernicus/internal/backend"
@@ -269,7 +270,7 @@ func Ext8(o *Options) (Table, error) {
 		if err != nil {
 			return Table{}, err
 		}
-		nat, err := o.Engine.SweepFormatsWith(native, w.ID, w.M, 16, formats.Sparse())
+		nat, err := o.Engine.SweepFormatsWith(context.Background(), native, w.ID, w.M, 16, formats.Sparse())
 		if err != nil {
 			return Table{}, err
 		}

@@ -2,6 +2,7 @@ package service
 
 import (
 	"container/list"
+	"context"
 	"errors"
 	"strings"
 	"sync"
@@ -11,19 +12,32 @@ import (
 type CacheStats struct {
 	// Hits were served from the cache; Misses ran the compute function;
 	// Shared callers attached to another caller's in-flight compute
-	// (singleflight) and never ran the engine themselves.
+	// (singleflight) and never ran the engine themselves. Abandoned
+	// counts in-flight computes that were canceled because every
+	// interested caller went away before they finished.
 	Hits      uint64 `json:"hits"`
 	Misses    uint64 `json:"misses"`
 	Shared    uint64 `json:"shared"`
 	Evictions uint64 `json:"evictions"`
+	Abandoned uint64 `json:"abandoned"`
 	Entries   int    `json:"entries"`
 }
 
-// flight is one in-progress compute that late arrivals wait on.
+// flight is one in-progress compute that late arrivals wait on. The
+// compute runs on the leader's goroutine but under a *detached* context:
+// it outlives the leader's own request so waiters still get a value if
+// the leader's client disconnects, and it is canceled — via the
+// reference count — only when every attached caller is gone.
 type flight struct {
 	done chan struct{}
 	val  any
 	err  error
+	// refs counts callers (leader included) still interested in the
+	// result; each caller's departure (context cancellation) decrements
+	// it, and the transition to zero cancels the compute context.
+	refs    int
+	cancel  context.CancelFunc
+	aborted bool
 }
 
 // resultCache is an LRU-evicted cache of computed sweep results with
@@ -57,11 +71,33 @@ func newResultCache(capacity int) *resultCache {
 	}
 }
 
+// release drops one caller's interest in fl; the last departure cancels
+// the flight's compute context. Callers must hold c.mu.
+func (c *resultCache) releaseLocked(fl *flight) {
+	fl.refs--
+	if fl.refs == 0 && !fl.aborted {
+		fl.aborted = true
+		c.stats.Abandoned++
+		fl.cancel()
+	}
+}
+
 // Do returns the cached value for key, or computes it exactly once even
 // under concurrent identical requests. The bool reports whether the
 // value came from the cache (true for both stored hits and results
 // shared with an in-flight leader).
-func (c *resultCache) Do(key string, compute func() (any, error)) (any, bool, error) {
+//
+// Context discipline: compute receives a context detached from the
+// caller's — the singleflight leader keeps computing for the benefit of
+// the other waiters even if its own client disconnects — that is
+// canceled only when *every* attached caller's context is done. A caller
+// whose ctx is canceled while waiting detaches immediately and returns
+// ctx.Err(). Callers arriving after a flight was abandoned start a fresh
+// flight instead of inheriting the doomed one.
+func (c *resultCache) Do(ctx context.Context, key string, compute func(context.Context) (any, error)) (any, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, false, err // never start (or join) work for a dead caller
+	}
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
 		c.lru.MoveToFront(el)
@@ -70,16 +106,40 @@ func (c *resultCache) Do(key string, compute func() (any, error)) (any, bool, er
 		c.mu.Unlock()
 		return v, true, nil
 	}
-	if fl, ok := c.inflight[key]; ok {
+	if fl, ok := c.inflight[key]; ok && !fl.aborted {
+		fl.refs++
 		c.stats.Shared++
 		c.mu.Unlock()
-		<-fl.done
-		return fl.val, true, fl.err
+		select {
+		case <-fl.done:
+			c.mu.Lock()
+			fl.refs--
+			c.mu.Unlock()
+			return fl.val, true, fl.err
+		case <-ctx.Done():
+			c.mu.Lock()
+			c.releaseLocked(fl)
+			c.mu.Unlock()
+			return nil, false, ctx.Err()
+		}
 	}
-	fl := &flight{done: make(chan struct{})}
+	// Lead a new flight. The compute context ignores the caller's
+	// cancellation (values are preserved) and is canceled only by the
+	// reference count reaching zero.
+	fctx, fcancel := context.WithCancel(context.WithoutCancel(ctx))
+	fl := &flight{done: make(chan struct{}), refs: 1, cancel: fcancel}
 	c.inflight[key] = fl
 	c.stats.Misses++
 	c.mu.Unlock()
+
+	// The leader's own departure must release its reference too —
+	// otherwise a leader whose client disconnects while other waiters
+	// remain would pin the flight forever if those waiters also leave.
+	stopWatch := context.AfterFunc(ctx, func() {
+		c.mu.Lock()
+		c.releaseLocked(fl)
+		c.mu.Unlock()
+	})
 
 	// The deferred cleanup must run even if compute panics: otherwise the
 	// flight stays in the inflight map with done never closed, and every
@@ -92,26 +152,69 @@ func (c *resultCache) Do(key string, compute func() (any, error)) (any, bool, er
 			fl.val, fl.err = nil, errComputePanicked
 		}
 		c.mu.Lock()
-		delete(c.inflight, key)
+		if stopWatch() {
+			// The watcher never fired: drop the leader's reference here.
+			// (If it fired, the reference is already released.)
+			fl.refs--
+		}
+		if c.inflight[key] == fl {
+			delete(c.inflight, key)
+		}
 		if fl.err == nil {
-			c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, val: fl.val})
-			for len(c.entries) > c.cap {
-				oldest := c.lru.Back()
-				c.lru.Remove(oldest)
-				delete(c.entries, oldest.Value.(*cacheEntry).key)
-				c.stats.Evictions++
-			}
+			c.addLocked(key, fl.val)
 		}
 		c.mu.Unlock()
+		fcancel() // always release the flight context's resources
 		close(fl.done)
 	}()
-	fl.val, fl.err = compute()
+	fl.val, fl.err = compute(fctx)
 	returned = true
 	return fl.val, false, fl.err
 }
 
 // errComputePanicked is what waiters of a panicked leader observe.
 var errComputePanicked = errors.New("service: in-flight compute panicked")
+
+// Get returns the cached value for key without computing, promoting the
+// entry on a hit. Streaming paths use it to serve warm requests row by
+// row from the stored slab.
+func (c *resultCache) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	c.stats.Hits++
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Add stores a value computed outside Do — a streamed sweep or a
+// completed background job — under the same LRU and capacity rules.
+// The caller is charged as one miss (it ran the engine).
+func (c *resultCache) Add(key string, val any) {
+	c.mu.Lock()
+	c.stats.Misses++
+	c.addLocked(key, val)
+	c.mu.Unlock()
+}
+
+// addLocked inserts or refreshes an entry and trims to capacity.
+func (c *resultCache) addLocked(key string, val any) {
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, val: val})
+	for len(c.entries) > c.cap {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.stats.Evictions++
+	}
+}
 
 // InvalidatePrefix drops every cached entry whose key starts with the
 // prefix — used when a matrix is deleted, since every key embeds the

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -25,7 +26,7 @@ func TestCacheSingleflightComputesOnce(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			v, _, err := c.Do("key", func() (any, error) {
+			v, _, err := c.Do(context.Background(), "key", func(context.Context) (any, error) {
 				computes.Add(1)
 				<-release
 				return "swept", nil
@@ -62,7 +63,7 @@ func TestCacheSingleflightComputesOnce(t *testing.T) {
 	}
 
 	// A later identical request is a plain cache hit.
-	if _, cached, _ := c.Do("key", func() (any, error) { t.Fatal("recompute"); return nil, nil }); !cached {
+	if _, cached, _ := c.Do(context.Background(), "key", func(context.Context) (any, error) { t.Fatal("recompute"); return nil, nil }); !cached {
 		t.Fatal("warm request missed the cache")
 	}
 }
@@ -72,10 +73,10 @@ func TestCacheSingleflightComputesOnce(t *testing.T) {
 func TestCacheErrorsNotCached(t *testing.T) {
 	c := newResultCache(8)
 	boom := errors.New("boom")
-	if _, _, err := c.Do("k", func() (any, error) { return nil, boom }); !errors.Is(err, boom) {
+	if _, _, err := c.Do(context.Background(), "k", func(context.Context) (any, error) { return nil, boom }); !errors.Is(err, boom) {
 		t.Fatalf("err = %v", err)
 	}
-	v, cached, err := c.Do("k", func() (any, error) { return 42, nil })
+	v, cached, err := c.Do(context.Background(), "k", func(context.Context) (any, error) { return 42, nil })
 	if err != nil || cached || v != 42 {
 		t.Fatalf("retry after error: v=%v cached=%v err=%v", v, cached, err)
 	}
@@ -85,7 +86,7 @@ func TestCacheErrorsNotCached(t *testing.T) {
 func TestCacheLRUEviction(t *testing.T) {
 	c := newResultCache(2)
 	put := func(k string) {
-		if _, _, err := c.Do(k, func() (any, error) { return k, nil }); err != nil {
+		if _, _, err := c.Do(context.Background(), k, func(context.Context) (any, error) { return k, nil }); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -93,14 +94,14 @@ func TestCacheLRUEviction(t *testing.T) {
 	put("b")
 	put("a") // refresh a; b is now coldest
 	put("c") // evicts b
-	if _, cached, _ := c.Do("a", func() (any, error) { return "a2", nil }); !cached {
+	if _, cached, _ := c.Do(context.Background(), "a", func(context.Context) (any, error) { return "a2", nil }); !cached {
 		t.Fatal("refreshed key evicted")
 	}
 	if s := c.Stats(); s.Evictions != 1 {
 		t.Fatalf("evictions = %d, want 1", s.Evictions)
 	}
 	// The probe below re-inserts "b", evicting once more.
-	if _, cached, _ := c.Do("b", func() (any, error) { return "b2", nil }); cached {
+	if _, cached, _ := c.Do(context.Background(), "b", func(context.Context) (any, error) { return "b2", nil }); cached {
 		t.Fatal("coldest key survived eviction")
 	}
 }
@@ -115,7 +116,7 @@ func TestCachePanickedComputeDoesNotPoisonKey(t *testing.T) {
 
 	go func() {
 		defer func() { recover() }() // stand-in for net/http's handler recovery
-		c.Do("k", func() (any, error) {
+		c.Do(context.Background(), "k", func(context.Context) (any, error) {
 			<-release
 			panic("engine bug")
 		})
@@ -124,7 +125,7 @@ func TestCachePanickedComputeDoesNotPoisonKey(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 	go func() {
-		_, _, err := c.Do("k", func() (any, error) { return nil, nil })
+		_, _, err := c.Do(context.Background(), "k", func(context.Context) (any, error) { return nil, nil })
 		waited <- err
 	}()
 	for c.Stats().Shared == 0 { // waiter attached before the panic
@@ -141,7 +142,7 @@ func TestCachePanickedComputeDoesNotPoisonKey(t *testing.T) {
 		t.Fatal("waiter hung on a panicked leader")
 	}
 	// The key must be recomputable afterwards.
-	v, cached, err := c.Do("k", func() (any, error) { return "recovered", nil })
+	v, cached, err := c.Do(context.Background(), "k", func(context.Context) (any, error) { return "recovered", nil })
 	if err != nil || cached || v != "recovered" {
 		t.Fatalf("key poisoned after panic: v=%v cached=%v err=%v", v, cached, err)
 	}
@@ -151,17 +152,132 @@ func TestCachePanickedComputeDoesNotPoisonKey(t *testing.T) {
 func TestCacheInvalidatePrefix(t *testing.T) {
 	c := newResultCache(8)
 	for _, k := range []string{"m1|a", "m1|b", "m2|a"} {
-		if _, _, err := c.Do(k, func() (any, error) { return k, nil }); err != nil {
+		if _, _, err := c.Do(context.Background(), k, func(context.Context) (any, error) { return k, nil }); err != nil {
 			t.Fatal(err)
 		}
 	}
 	if n := c.InvalidatePrefix("m1|"); n != 2 {
 		t.Fatalf("invalidated %d entries, want 2", n)
 	}
-	if _, cached, _ := c.Do("m2|a", func() (any, error) { return nil, nil }); !cached {
+	if _, cached, _ := c.Do(context.Background(), "m2|a", func(context.Context) (any, error) { return nil, nil }); !cached {
 		t.Fatal("unrelated key invalidated")
 	}
-	if _, cached, _ := c.Do("m1|a", func() (any, error) { return nil, nil }); cached {
+	if _, cached, _ := c.Do(context.Background(), "m1|a", func(context.Context) (any, error) { return nil, nil }); cached {
 		t.Fatal("invalidated key still cached")
+	}
+}
+
+// TestCacheLeaderDetachesFromItsRequest: the singleflight leader's
+// compute must survive the leader's own context dying while another
+// caller is still attached — the compute context is detached and
+// ref-counted, so one live waiter keeps the engine work alive.
+func TestCacheLeaderDetachesFromItsRequest(t *testing.T) {
+	c := newResultCache(8)
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	computeStarted := make(chan struct{})
+	release := make(chan struct{})
+	var flightCanceled atomic.Bool
+
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(leaderCtx, "k", func(fctx context.Context) (any, error) {
+			close(computeStarted)
+			select {
+			case <-release:
+				return "swept", nil
+			case <-fctx.Done():
+				flightCanceled.Store(true)
+				return nil, fctx.Err()
+			}
+		})
+		leaderDone <- err
+	}()
+	<-computeStarted
+
+	waiterDone := make(chan any, 1)
+	go func() {
+		v, _, err := c.Do(context.Background(), "k", func(context.Context) (any, error) {
+			t.Error("waiter recomputed")
+			return nil, nil
+		})
+		if err != nil {
+			t.Errorf("waiter: %v", err)
+		}
+		waiterDone <- v
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Stats().Shared == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never attached")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The leader's request dies; the waiter is still interested, so the
+	// flight must keep computing.
+	cancelLeader()
+	time.Sleep(20 * time.Millisecond)
+	if flightCanceled.Load() {
+		t.Fatal("flight canceled while a live waiter was attached")
+	}
+	close(release)
+	if v := <-waiterDone; v != "swept" {
+		t.Fatalf("waiter got %v", v)
+	}
+	if err := <-leaderDone; err != nil {
+		t.Fatalf("leader (already computing) returned %v", err)
+	}
+}
+
+// TestCacheFlightAbandonedWhenAllCallersGone: when the leader and every
+// waiter disconnect, the ref count hits zero and the compute context is
+// canceled — the load-shedding half of the detach semantics.
+func TestCacheFlightAbandonedWhenAllCallersGone(t *testing.T) {
+	c := newResultCache(8)
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	waiterCtx, cancelWaiter := context.WithCancel(context.Background())
+	computeStarted := make(chan struct{})
+
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(leaderCtx, "k", func(fctx context.Context) (any, error) {
+			close(computeStarted)
+			<-fctx.Done() // a well-behaved engine call unwinds on cancel
+			return nil, fctx.Err()
+		})
+		leaderDone <- err
+	}()
+	<-computeStarted
+
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(waiterCtx, "k", func(context.Context) (any, error) { return nil, nil })
+		waiterDone <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Stats().Shared == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never attached")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	cancelWaiter()
+	if err := <-waiterDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("departing waiter got %v", err)
+	}
+	cancelLeader() // last caller gone: the flight must be canceled
+	if err := <-leaderDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoned flight returned %v, want context.Canceled", err)
+	}
+	if got := c.Stats().Abandoned; got != 1 {
+		t.Fatalf("Abandoned = %d, want 1", got)
+	}
+	// The error was not cached: the key recomputes cleanly.
+	v, cached, err := c.Do(context.Background(), "k", func(context.Context) (any, error) {
+		return "fresh", nil
+	})
+	if err != nil || cached || v != "fresh" {
+		t.Fatalf("post-abandon recompute: v=%v cached=%v err=%v", v, cached, err)
 	}
 }

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -14,7 +15,9 @@ import (
 	"copernicus/internal/core"
 	"copernicus/internal/formats"
 	"copernicus/internal/hlsim"
+	"copernicus/internal/matrix"
 	"copernicus/internal/mtx"
+	"copernicus/internal/workloads"
 )
 
 // Request-shape bounds: a sweep request fans out |formats| × |partitions|
@@ -202,48 +205,76 @@ func sweepKey(matrixID string, b backend.Backend, kinds []formats.Kind, ps []int
 // client-attributable 404, not a server fault.
 var errMatrixDeleted = errors.New("matrix deleted")
 
+// computeSweep is the engine half of every sweep path — synchronous,
+// streamed, and job alike: the streaming sweep over kinds × ps for one
+// matrix, with results optionally mirrored to onRow as groups complete,
+// followed by the first half of the delete-race discipline. A DELETE may
+// have raced the sweep (its DropPlansFor ran before the sweep
+// re-inserted the plans), so registration is re-checked before results
+// are considered valid; a deleted matrix is never re-pinned by the
+// engine (and errors are never cached).
+func (s *Server) computeSweep(ctx context.Context, info MatrixInfo, m *matrix.CSR, b backend.Backend, kinds []formats.Kind, ps []int, onRow func(core.Result)) ([]core.Result, error) {
+	ws := []workloads.Workload{{ID: info.ID, M: m}}
+	out := make([]core.Result, 0, len(kinds)*len(ps))
+	err := s.engine.SweepStreamWith(ctx, b, ws, kinds, ps, func(r core.Result) error {
+		out = append(out, r)
+		if onRow != nil {
+			onRow(r)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, _, still := s.reg.Lookup(info.ID); !still {
+		s.engine.DropPlansFor(m)
+		return nil, fmt.Errorf("matrix %q: %w", info.ID, errMatrixDeleted)
+	}
+	return out, nil
+}
+
+// sweepEpilogue closes the remaining delete window after results landed
+// in the cache: a DELETE between the compute's re-check and the insert
+// has already run its invalidation, so the entry (and the plans the
+// sweep re-inserted) would outlive the matrix. Re-checking after the
+// insert means either the delete's invalidation ran after the insert
+// and cleaned it, or this check sees the deletion and cleans up itself.
+// Shared by the batch, streamed, and job sweep paths.
+func (s *Server) sweepEpilogue(info MatrixInfo, m *matrix.CSR) error {
+	if _, _, still := s.reg.Lookup(info.ID); !still {
+		s.cache.InvalidatePrefix(info.ID + "|")
+		s.engine.DropPlansFor(m)
+		return fmt.Errorf("matrix %q: %w", info.ID, errMatrixDeleted)
+	}
+	return nil
+}
+
 // runSweep computes (or returns cached) results for one matrix across
 // kinds × ps under the given backend, singleflight-deduplicated on the
 // canonical key (which embeds the backend ID, isolating each backend's
-// cache entries).
-func (s *Server) runSweep(info MatrixInfo, b backend.Backend, kinds []formats.Kind, ps []int) ([]core.Result, bool, error) {
+// cache entries). The caller's ctx governs how long it *waits*; the
+// compute itself runs under the cache's detached, ref-counted context,
+// so it is aborted only when every request interested in the key —
+// leader and waiters alike — has disconnected.
+//
+// onRow, when non-nil, observes each result as the singleflight
+// *leader's* compute produces it — the streaming path's incremental
+// feed. A caller that attached to another leader's flight (or hit the
+// cache) gets cached=true and must replay the returned slab itself.
+func (s *Server) runSweep(ctx context.Context, info MatrixInfo, b backend.Backend, kinds []formats.Kind, ps []int, onRow func(core.Result)) ([]core.Result, bool, error) {
 	_, m, ok := s.reg.Lookup(info.ID)
 	if !ok {
 		return nil, false, fmt.Errorf("matrix %q: %w", info.ID, errMatrixDeleted)
 	}
-	v, cached, err := s.cache.Do(sweepKey(info.ID, b, kinds, ps), func() (any, error) {
-		out := make([]core.Result, 0, len(kinds)*len(ps))
-		for _, p := range ps {
-			rs, err := s.engine.SweepFormatsWith(b, info.ID, m, p, kinds)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, rs...)
-		}
-		// A DELETE may have raced this sweep: its DropPlansFor ran before
-		// SweepFormats re-inserted the plans. Re-check registration so a
-		// deleted matrix is not re-pinned by the engine or cached under a
-		// dead ID (errors are never cached).
-		if _, _, still := s.reg.Lookup(info.ID); !still {
-			s.engine.DropPlansFor(m)
-			return nil, fmt.Errorf("matrix %q: %w", info.ID, errMatrixDeleted)
-		}
-		return out, nil
+	v, cached, err := s.cache.Do(ctx, sweepKey(info.ID, b, kinds, ps), func(fctx context.Context) (any, error) {
+		return s.computeSweep(fctx, info, m, b, kinds, ps, onRow)
 	})
 	s.noteBackend(b.ID(), cached && err == nil)
 	if err != nil {
 		return nil, false, err
 	}
-	// Close the remaining delete window: a DELETE landing between the
-	// closure's re-check and the cache insert has already run its
-	// invalidation, so the entry (and the plans the sweep re-inserted)
-	// would outlive the matrix. Re-checking after the insert means
-	// either the delete's invalidation ran after the insert and cleaned
-	// it, or this check sees the deletion and cleans up itself.
-	if _, _, still := s.reg.Lookup(info.ID); !still {
-		s.cache.InvalidatePrefix(info.ID + "|")
-		s.engine.DropPlansFor(m)
-		return nil, false, fmt.Errorf("matrix %q: %w", info.ID, errMatrixDeleted)
+	if err := s.sweepEpilogue(info, m); err != nil {
+		return nil, false, err
 	}
 	return v.([]core.Result), cached, nil
 }
@@ -252,13 +283,17 @@ func (s *Server) runSweep(info MatrixInfo, b backend.Backend, kinds []formats.Ki
 // with DELETE is the client's 404, and asking the cycle model for a
 // format it has no equations for is the client's 400 — neither is a
 // server fault (and the latter is an error up the stack now, not a
-// crashed goroutine).
+// crashed goroutine). A context error means the client disconnected or
+// the server is draining; 503 tells well-behaved clients to retry
+// elsewhere (the disconnected ones never see it).
 func sweepStatus(err error) int {
 	switch {
 	case errors.Is(err, errMatrixDeleted):
 		return http.StatusNotFound
 	case errors.Is(err, hlsim.ErrUnknownFormat):
 		return http.StatusBadRequest
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable
 	}
 	return http.StatusInternalServerError
 }
@@ -361,7 +396,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "missing \"matrix\"")
 		return
 	}
-	s.serveSweep(w, req.Matrix, req.Formats, req.Partitions, req.Backend)
+	s.serveSweep(w, r, req.Matrix, req.Formats, req.Partitions, req.Backend)
 }
 
 // handleSweepGet is the query-parameter form of /v1/sweep:
@@ -388,13 +423,15 @@ func (s *Server) handleSweepGet(w http.ResponseWriter, r *http.Request) {
 			ps = append(ps, p)
 		}
 	}
-	s.serveSweep(w, q.Get("matrix"), names, ps, q.Get("backend"))
+	s.serveSweep(w, r, q.Get("matrix"), names, ps, q.Get("backend"))
 }
 
 // serveSweep is the shared tail of both /v1/sweep forms: validate the
-// matrix, format, partition, and backend selections, run (or hit) the
-// cached sweep, and write the uniform response.
-func (s *Server) serveSweep(w http.ResponseWriter, matrixID string, names []string, partitions []int, backendName string) {
+// matrix, format, partition, and backend selections, then answer either
+// as one JSON slab (the default) or, when the request prefers
+// application/x-ndjson, as a row-per-line stream flushed as each
+// (workload, p) group completes.
+func (s *Server) serveSweep(w http.ResponseWriter, r *http.Request, matrixID string, names []string, partitions []int, backendName string) {
 	info, _, ok := s.reg.Lookup(matrixID)
 	if !ok {
 		writeErr(w, http.StatusNotFound, "unknown matrix %q", matrixID)
@@ -415,7 +452,13 @@ func (s *Server) serveSweep(w http.ResponseWriter, matrixID string, names []stri
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	rs, cached, err := s.runSweep(info, b, kinds, ps)
+	ctx, cancel := s.reqCtx(r)
+	defer cancel()
+	if wantsNDJSON(r) {
+		s.streamSweep(ctx, w, info, b, kinds, ps)
+		return
+	}
+	rs, cached, err := s.runSweep(ctx, info, b, kinds, ps, nil)
 	if err != nil {
 		writeErr(w, sweepStatus(err), "sweep: %v", err)
 		return
@@ -425,6 +468,78 @@ func (s *Server) serveSweep(w http.ResponseWriter, matrixID string, names []stri
 		"cached":  cached,
 		"results": toResultsJSON(rs),
 	})
+}
+
+// wantsNDJSON reports whether the request negotiated newline-delimited
+// JSON streaming.
+func wantsNDJSON(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), "application/x-ndjson")
+}
+
+// streamSweep answers a sweep as NDJSON: one result row per line,
+// flushed per row, emitted in the same deterministic order as the batch
+// response as soon as each (workload, p) group completes — a client sees
+// its first rows while later groups are still computing. A warm request
+// streams straight from the cached slab; a cold one runs through the
+// same singleflighted runSweep as the batch path (concurrent identical
+// requests share one engine sweep: the leader streams incrementally and
+// populates the cache, attached callers replay the finished slab) under
+// the joined request/server context. A mid-stream failure truncates the
+// row stream and appends a final {"error": ...} line — the rows before
+// it are still a valid prefix of the batch result set; a failure before
+// any row was written is reported with a proper HTTP status instead,
+// exactly like the batch form.
+func (s *Server) streamSweep(ctx context.Context, w http.ResponseWriter, info MatrixInfo, b backend.Backend, kinds []formats.Kind, ps []int) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	emitted := 0
+	emitDead := false
+	emit := func(r core.Result) {
+		if emitDead {
+			return
+		}
+		if err := enc.Encode(toResultJSON(r)); err != nil {
+			// This client is gone; keep computing silently — as the
+			// singleflight leader the slab still serves attached callers
+			// and warms the cache.
+			emitDead = true
+			return
+		}
+		emitted++
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	key := sweepKey(info.ID, b, kinds, ps)
+	if v, ok := s.cache.Get(key); ok {
+		s.noteBackend(b.ID(), true)
+		for _, r := range v.([]core.Result) {
+			emit(r)
+		}
+		return
+	}
+
+	rs, cached, err := s.runSweep(ctx, info, b, kinds, ps, emit)
+	if err != nil {
+		if emitted == 0 {
+			// Nothing on the wire yet: a real status line (404/400/503)
+			// beats an in-band error masquerading as a 200.
+			writeErr(w, sweepStatus(err), "sweep: %v", err)
+			return
+		}
+		_ = enc.Encode(map[string]string{"error": fmt.Sprintf("sweep: %v", err)})
+		return
+	}
+	if cached {
+		// We attached to another caller's in-flight sweep (or raced a
+		// fresh cache insert): our emit never saw the leader's rows, so
+		// replay the slab.
+		for _, r := range rs {
+			emit(r)
+		}
+	}
 }
 
 // handleCharacterize runs one (matrix, format, p) point:
@@ -460,7 +575,9 @@ func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	rs, cached, err := s.runSweep(info, b, kinds, ps)
+	ctx, cancel := s.reqCtx(r)
+	defer cancel()
+	rs, cached, err := s.runSweep(ctx, info, b, kinds, ps, nil)
 	if err != nil {
 		writeErr(w, sweepStatus(err), "characterize: %v", err)
 		return
@@ -511,7 +628,9 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	rs, cached, err := s.runSweep(info, b, formats.Sparse(), ps)
+	ctx, cancel := s.reqCtx(r)
+	defer cancel()
+	rs, cached, err := s.runSweep(ctx, info, b, formats.Sparse(), ps, nil)
 	if err != nil {
 		writeErr(w, sweepStatus(err), "advise: %v", err)
 		return

@@ -1,0 +1,188 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"copernicus/internal/backend"
+	"copernicus/internal/core"
+	"copernicus/internal/formats"
+	"copernicus/internal/jobs"
+	"copernicus/internal/matrix"
+	"copernicus/internal/workloads"
+)
+
+// handleJobSubmit is POST /v1/jobs/sweep: the asynchronous form of
+// /v1/sweep. The request body is identical; the response is 202 with a
+// job record to poll (GET /v1/jobs/{id}), subscribe to
+// (GET /v1/jobs/{id}/events), or cancel (DELETE /v1/jobs/{id}). A
+// completed job populates the same per-backend sweep cache entry the
+// synchronous paths use, so a follow-up POST /v1/sweep of the same
+// request is a cache hit.
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	var req sweepRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "parse request: %v", err)
+		return
+	}
+	info, m, ok := s.reg.Lookup(req.Matrix)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown matrix %q", req.Matrix)
+		return
+	}
+	kinds, err := parseKinds(req.Formats)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ps, err := parsePartitions(req.Partitions)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	b, err := backend.For(req.Backend)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	key := sweepKey(info.ID, b, kinds, ps)
+	total := len(kinds) * len(ps)
+	task := s.sweepTask(info, m, b, kinds, ps, key)
+	ji, err := s.jobs.Submit(fmt.Sprintf("sweep %s (%s)", info.ID, b.ID()), total, task)
+	switch {
+	case errors.Is(err, jobs.ErrQueueFull):
+		writeErr(w, http.StatusTooManyRequests, "job queue full; retry later")
+		return
+	case errors.Is(err, jobs.ErrShuttingDown):
+		writeErr(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	case err != nil:
+		writeErr(w, http.StatusInternalServerError, "submit: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{"job": ji})
+}
+
+// sweepTask builds the background task for one sweep job: the engine's
+// group-streaming sweep with per-group progress, ending with the same
+// cache population and delete-race discipline as the synchronous paths
+// (the in-flight re-check lives in computeSweep-equivalent code here
+// because the job needs group granularity for timings; the post-insert
+// half is the shared sweepEpilogue).
+func (s *Server) sweepTask(info MatrixInfo, m *matrix.CSR, b backend.Backend, kinds []formats.Kind, ps []int, key string) jobs.Task {
+	return func(ctx context.Context, report func(int, jobs.GroupTiming)) (any, error) {
+		ws := []workloads.Workload{{ID: info.ID, M: m}}
+		collected := make([]core.Result, 0, len(kinds)*len(ps))
+		err := s.engine.SweepGroupsWith(ctx, b, ws, kinds, ps, func(g core.SweepGroup) error {
+			collected = append(collected, g.Results...)
+			report(len(g.Results), jobs.GroupTiming{
+				Workload: g.Workload,
+				P:        g.P,
+				Points:   len(g.Results),
+				Seconds:  g.Elapsed.Seconds(),
+			})
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if _, _, still := s.reg.Lookup(info.ID); !still {
+			s.engine.DropPlansFor(m)
+			return nil, fmt.Errorf("matrix %q: %w", info.ID, errMatrixDeleted)
+		}
+		s.cache.Add(key, collected)
+		s.noteBackend(b.ID(), false)
+		if err := s.sweepEpilogue(info, m); err != nil {
+			return nil, err
+		}
+		return collected, nil
+	}
+}
+
+// handleJobList is GET /v1/jobs: every retained job, submission order.
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.jobs.List()})
+}
+
+// handleJobGet is GET /v1/jobs/{id}: the job record, plus its result
+// rows once the job is done.
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	res, ji, ok := s.jobs.Result(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	resp := map[string]any{"job": ji}
+	if ji.State == jobs.StateDone {
+		if rs, ok := res.([]core.Result); ok {
+			resp["results"] = toResultsJSON(rs)
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleJobDelete is DELETE /v1/jobs/{id}: cancel an active job (202
+// with the post-cancel record — the terminal state lands when the task
+// unwinds), or drop a terminal job's record (204).
+func (s *Server) handleJobDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if deleted, ok := s.jobs.Delete(id); !ok {
+		writeErr(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	} else if deleted {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	ji, _ := s.jobs.Cancel(id)
+	writeJSON(w, http.StatusAccepted, map[string]any{"job": ji})
+}
+
+// handleJobEvents is GET /v1/jobs/{id}/events: a server-sent-events
+// stream of progress snapshots — one event immediately (the current
+// state), then an event per update with latest-wins coalescing, ending
+// with the terminal state. Progress counts are monotone and finish at
+// the job's total. The stream also ends when the client disconnects or
+// the server drains.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	ch, unsub, ok := s.jobs.Subscribe(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	defer unsub()
+	ctx, cancel := s.reqCtx(r)
+	defer cancel()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case ji := <-ch:
+			blob, err := json.Marshal(ji)
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "event: progress\ndata: %s\n\n", blob); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			if ji.State.Terminal() {
+				return
+			}
+		}
+	}
+}

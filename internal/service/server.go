@@ -1,11 +1,13 @@
 package service
 
 import (
+	"context"
 	"net/http"
 	"sync"
 	"time"
 
 	"copernicus/internal/core"
+	"copernicus/internal/jobs"
 	"copernicus/internal/workloads"
 )
 
@@ -27,6 +29,12 @@ type Options struct {
 	// checked before any entry is parsed.
 	MaxMatrixDim     int
 	MaxMatrixEntries int
+	// JobWorkers is the number of background job runner goroutines
+	// (default 1: each sweep job already parallelizes its groups on the
+	// engine pool). JobQueue bounds queued-but-unstarted jobs (default
+	// jobs.DefaultQueue); a full queue rejects submissions with 429.
+	JobWorkers int
+	JobQueue   int
 }
 
 func (o Options) withDefaults() Options {
@@ -48,6 +56,12 @@ func (o Options) withDefaults() Options {
 	if o.MaxMatrixEntries <= 0 {
 		o.MaxMatrixEntries = 1 << 24
 	}
+	if o.JobWorkers <= 0 {
+		o.JobWorkers = 1
+	}
+	if o.JobQueue <= 0 {
+		o.JobQueue = jobs.DefaultQueue
+	}
 	return o
 }
 
@@ -59,8 +73,16 @@ type Server struct {
 	engine *core.Engine
 	reg    *Registry
 	cache  *resultCache
+	jobs   *jobs.Manager
 	mux    *http.ServeMux
 	start  time.Time
+
+	// baseCtx is the server's lifetime context: Shutdown cancels it,
+	// which aborts every in-flight engine call (request contexts are
+	// joined with it) and every queued and running job — draining stops
+	// compute instead of waiting it out.
+	baseCtx context.Context
+	stop    context.CancelFunc
 
 	// bmu guards bstats: per-backend sweep-cache hit/miss tallies.
 	// Entries in the shared result cache already isolate by backend
@@ -110,14 +132,18 @@ func (s *Server) backendStats() map[string]BackendStats {
 // suite as R<density>, the band suite as B<width>).
 func New(o Options) *Server {
 	o = o.withDefaults()
+	baseCtx, stop := context.WithCancel(context.Background())
 	s := &Server{
-		opts:   o,
-		engine: o.Engine,
-		reg:    NewRegistry(),
-		cache:  newResultCache(o.CacheEntries),
-		mux:    http.NewServeMux(),
-		start:  time.Now(),
-		bstats: map[string]*BackendStats{},
+		opts:    o,
+		engine:  o.Engine,
+		reg:     NewRegistry(),
+		cache:   newResultCache(o.CacheEntries),
+		jobs:    jobs.NewManager(baseCtx, o.JobWorkers, o.JobQueue),
+		mux:     http.NewServeMux(),
+		start:   time.Now(),
+		baseCtx: baseCtx,
+		stop:    stop,
+		bstats:  map[string]*BackendStats{},
 	}
 	c := workloads.Config{Scale: o.Scale, RandomDim: o.Scale, BandDim: o.Scale}
 	for _, w := range workloads.SuiteSparse(c) {
@@ -142,6 +168,37 @@ func (s *Server) Engine() *core.Engine { return s.engine }
 // Registry returns the matrix registry.
 func (s *Server) Registry() *Registry { return s.reg }
 
+// Jobs returns the background job manager.
+func (s *Server) Jobs() *jobs.Manager { return s.jobs }
+
+// Shutdown cancels the server's base context: every in-flight sweep,
+// characterization, and advise call unwinds with a context error, every
+// queued and running job is canceled, and new job submissions are
+// rejected. Call it before http.Server.Shutdown so draining does not
+// wait for compute that no longer has anyone to answer to; it blocks
+// until the job runners have exited.
+func (s *Server) Shutdown() {
+	s.stop()
+	s.jobs.Wait()
+}
+
+// reqCtx joins a request's context with the server's base context: the
+// returned context is canceled when the client disconnects, when the
+// request finishes, or when the server shuts down — whichever comes
+// first. Handlers run engine work under it so both a gone client and a
+// draining server abort compute promptly.
+func (s *Server) reqCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(r.Context())
+	if s.baseCtx.Err() != nil {
+		// Already draining: hand back a synchronously-canceled context so
+		// late requests observe it deterministically.
+		cancel()
+		return ctx, cancel
+	}
+	stopWatch := context.AfterFunc(s.baseCtx, cancel)
+	return ctx, func() { stopWatch(); cancel() }
+}
+
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/matrices", s.handleListMatrices)
@@ -153,4 +210,9 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/characterize", s.handleCharacterize)
 	s.mux.HandleFunc("GET /v1/advise", s.handleAdvise)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v1/jobs/sweep", s.handleJobSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobDelete)
 }

@@ -1,0 +1,312 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"copernicus/internal/jobs"
+)
+
+// batchResults runs a plain POST /v1/sweep and returns the decoded
+// result rows.
+func batchResults(t *testing.T, base, body string) []map[string]any {
+	t.Helper()
+	code, resp := doJSON(t, "POST", base+"/v1/sweep", strings.NewReader(body))
+	if code != http.StatusOK {
+		t.Fatalf("batch sweep: %d %v", code, resp)
+	}
+	raw := resp["results"].([]any)
+	out := make([]map[string]any, len(raw))
+	for i, r := range raw {
+		out[i] = r.(map[string]any)
+	}
+	return out
+}
+
+// streamResults runs POST /v1/sweep with Accept: application/x-ndjson
+// and decodes each streamed row.
+func streamResults(t *testing.T, base, body string) []map[string]any {
+	t.Helper()
+	req, err := http.NewRequest("POST", base+"/v1/sweep", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "application/x-ndjson")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var rows []map[string]any
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var row map[string]any
+		if err := json.Unmarshal([]byte(line), &row); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		if msg, ok := row["error"]; ok {
+			t.Fatalf("stream errored: %v", msg)
+		}
+		rows = append(rows, row)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+// TestSweepNDJSONParity: the concatenation of streamed rows must decode
+// to exactly the batch result set — same order, same values — whether
+// the stream computed the sweep (cold) or replayed the cache (warm),
+// and the streamed sweep must populate the same cache entry the batch
+// path would have.
+func TestSweepNDJSONParity(t *testing.T) {
+	const body = `{"matrix": "DW", "formats": ["CSR", "COO", "ELL"], "partitions": [8, 16]}`
+
+	// Batch on its own server: an independently computed golden set.
+	_, batchTS := newTestServer(t)
+	want := batchResults(t, batchTS.URL, body)
+	if len(want) != 6 {
+		t.Fatalf("batch returned %d rows, want 6", len(want))
+	}
+
+	// Cold stream on a second server, then a warm replay from cache.
+	_, streamTS := newTestServer(t)
+	for _, pass := range []string{"cold", "warm"} {
+		got := streamResults(t, streamTS.URL, body)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s streamed rows diverge from the batch result set", pass)
+		}
+	}
+
+	// The streamed sweep populated the shared cache: the batch form on
+	// the same server is a hit with identical rows.
+	code, resp := doJSON(t, "POST", streamTS.URL+"/v1/sweep", strings.NewReader(body))
+	if code != http.StatusOK {
+		t.Fatalf("batch after stream: %d %v", code, resp)
+	}
+	if cached, _ := resp["cached"].(bool); !cached {
+		t.Fatal("batch request after a streamed sweep missed the cache")
+	}
+}
+
+// TestSweepNDJSONUnknownMatrix: stream negotiation must not bypass
+// validation.
+func TestSweepNDJSONUnknownMatrix(t *testing.T) {
+	_, ts := newTestServer(t)
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/sweep", strings.NewReader(`{"matrix": "nope"}`))
+	req.Header.Set("Accept", "application/x-ndjson")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// submitJob posts a sweep job and returns its record.
+func submitJob(t *testing.T, base, body string) map[string]any {
+	t.Helper()
+	code, resp := doJSON(t, "POST", base+"/v1/jobs/sweep", strings.NewReader(body))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit job: %d %v", code, resp)
+	}
+	return resp["job"].(map[string]any)
+}
+
+// TestJobSweepLifecycleAndSSE: a sweep job runs to done; its SSE event
+// stream delivers monotone progress counts ending at the total with a
+// terminal event; the finished job exposes its result rows; and the
+// completed job populated the sweep cache for the synchronous paths.
+func TestJobSweepLifecycleAndSSE(t *testing.T) {
+	const body = `{"matrix": "RL", "formats": ["CSR", "COO"], "partitions": [8, 16]}`
+	_, ts := newTestServer(t)
+	job := submitJob(t, ts.URL, body)
+	id := job["id"].(string)
+	if total := job["total"].(float64); total != 4 {
+		t.Fatalf("job total = %v, want 4", total)
+	}
+
+	// Subscribe to the event stream and walk it to the terminal event.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	last := -1.0
+	var final map[string]any
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatalf("bad SSE data %q: %v", line, err)
+		}
+		done := ev["done"].(float64)
+		if done < last {
+			t.Fatalf("progress went backwards: %v after %v", done, last)
+		}
+		last = done
+		if st := jobs.State(ev["state"].(string)); st.Terminal() {
+			final = ev
+			break
+		}
+	}
+	if final == nil {
+		t.Fatalf("event stream ended without a terminal event: %v", sc.Err())
+	}
+	if st := final["state"].(string); st != string(jobs.StateDone) {
+		t.Fatalf("terminal state = %s, want done", st)
+	}
+	if done, total := final["done"].(float64), final["total"].(float64); done != total {
+		t.Fatalf("final progress %v != total %v", done, total)
+	}
+	if groups := final["groups"].([]any); len(groups) != 2 {
+		t.Fatalf("final event has %d group timings, want 2", len(groups))
+	}
+
+	// The finished job exposes its rows, identical to a batch sweep.
+	code, got := doJSON(t, "GET", ts.URL+"/v1/jobs/"+id, nil)
+	if code != http.StatusOK {
+		t.Fatalf("get job: %d %v", code, got)
+	}
+	rows := got["results"].([]any)
+	want := batchResults(t, ts.URL, body) // served from the job-populated cache
+	if !reflect.DeepEqual(rows, func() []any {
+		out := make([]any, len(want))
+		for i, w := range want {
+			out[i] = w
+		}
+		return out
+	}()) {
+		t.Fatal("job results diverge from the batch sweep rows")
+	}
+
+	// And the batch request above must have been a cache hit.
+	code, resp2 := doJSON(t, "POST", ts.URL+"/v1/sweep", strings.NewReader(body))
+	if code != http.StatusOK || resp2["cached"] != true {
+		t.Fatalf("sweep after job: %d cached=%v", code, resp2["cached"])
+	}
+}
+
+// TestJobUnknownAndDelete: job endpoints 404 unknown IDs; DELETE drops a
+// terminal job's record.
+func TestJobUnknownAndDelete(t *testing.T) {
+	_, ts := newTestServer(t)
+	if code, _ := doJSON(t, "GET", ts.URL+"/v1/jobs/job-404", nil); code != http.StatusNotFound {
+		t.Fatalf("get unknown job: %d", code)
+	}
+	job := submitJob(t, ts.URL, `{"matrix": "DW", "formats": ["CSR"], "partitions": [8]}`)
+	id := job["id"].(string)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, resp := doJSON(t, "GET", ts.URL+"/v1/jobs/"+id, nil)
+		st := jobs.State(resp["job"].(map[string]any)["state"].(string))
+		if st.Terminal() {
+			if st != jobs.StateDone {
+				t.Fatalf("job ended %s", st)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never finished")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if code, _ := doJSON(t, "DELETE", ts.URL+"/v1/jobs/"+id, nil); code != http.StatusNoContent {
+		t.Fatalf("delete terminal job: %d", code)
+	}
+	if code, _ := doJSON(t, "GET", ts.URL+"/v1/jobs/"+id, nil); code != http.StatusNotFound {
+		t.Fatalf("deleted job still served: %d", code)
+	}
+}
+
+// TestShutdownRejectsAndCancels: Server.Shutdown aborts compute-bound
+// requests and rejects new job submissions with 503.
+func TestShutdownRejectsAndCancels(t *testing.T) {
+	s, ts := newTestServer(t)
+	s.Shutdown()
+	code, _ := doJSON(t, "POST", ts.URL+"/v1/jobs/sweep", strings.NewReader(`{"matrix": "DW"}`))
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("job submit after shutdown: %d, want 503", code)
+	}
+	// A compute request under the canceled base context unwinds with 503
+	// before (or promptly after) entering the engine.
+	code, body := doJSON(t, "POST", ts.URL+"/v1/sweep", strings.NewReader(`{"matrix": "RE"}`))
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("sweep after shutdown: %d %v, want 503", code, body)
+	}
+}
+
+// TestSweepNDJSONConcurrentSingleflight: concurrent identical cold
+// NDJSON requests must share one engine sweep — the leader streams
+// incrementally, attached callers replay the finished slab — and every
+// client still receives the complete, identical row set.
+func TestSweepNDJSONConcurrentSingleflight(t *testing.T) {
+	const body = `{"matrix": "RE", "formats": ["CSR", "COO", "ELL"], "partitions": [8, 16]}`
+	const clients = 4
+	s, ts := newTestServer(t)
+	rows := make([][]map[string]any, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rows[i] = streamResults(t, ts.URL, body)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < clients; i++ {
+		if !reflect.DeepEqual(rows[i], rows[0]) {
+			t.Fatalf("client %d got different rows", i)
+		}
+	}
+	if len(rows[0]) != 6 {
+		t.Fatalf("got %d rows, want 6", len(rows[0]))
+	}
+	// Exactly one engine compute: any combination of shared flights and
+	// cache hits is fine, but only one miss may have run the sweep.
+	if st := s.cache.Stats(); st.Misses != 1 {
+		t.Fatalf("cache stats %+v: %d computes for %d identical requests, want 1", st, st.Misses, clients)
+	}
+}
+
+// TestSweepNDJSONShutdownStatus: a streamed request that fails before
+// any row is written must get a real HTTP error status (503 while
+// draining), not a 200 with an in-band error line.
+func TestSweepNDJSONShutdownStatus(t *testing.T) {
+	s, ts := newTestServer(t)
+	s.Shutdown()
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/sweep", strings.NewReader(`{"matrix": "RE"}`))
+	req.Header.Set("Accept", "application/x-ndjson")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+}
