@@ -12,6 +12,7 @@ package copernicus_test
 
 import (
 	"io"
+	"runtime"
 	"strconv"
 	"testing"
 
@@ -501,6 +502,44 @@ func BenchmarkPlanWarmRunInto(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if err := pl.RunInto(copernicus.CSR, x, &r); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExec measures the steady-state tile-parallel executable-kernel
+// SpMV on a warm plan — each format traversing its own encoded layout —
+// at one thread and at full machine width (identical on one-core hosts).
+// 0 allocs/op warm by design; the assertion lives in internal/hlsim's
+// TestRunExecWarmZeroAllocs.
+func BenchmarkExec(b *testing.B) {
+	m := copernicus.Random(1024, 0.01, 31)
+	x := make([]float64, m.Cols)
+	for i := range x {
+		x[i] = 1
+	}
+	pl, err := copernicus.NewStreamPlan(m, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	threadCounts := []int{1}
+	if maxT := runtime.GOMAXPROCS(0); maxT > 1 {
+		threadCounts = append(threadCounts, maxT)
+	}
+	for _, k := range []copernicus.Format{copernicus.CSR, copernicus.ELL, copernicus.SELLCS, copernicus.BCSR, copernicus.DIA} {
+		for _, tc := range threadCounts {
+			b.Run(k.String()+"/t"+strconv.Itoa(tc), func(b *testing.B) {
+				var r copernicus.StreamResult
+				if err := pl.RunExecInto(k, x, &r, tc); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := pl.RunExecInto(k, x, &r, tc); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		}
 	}
 }

@@ -30,8 +30,10 @@
 package copernicus
 
 import (
+	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"copernicus/internal/backend"
 	"copernicus/internal/core"
@@ -197,9 +199,28 @@ type BackendMeasurement = backend.Measurement
 func AnalyticBackend() Backend { return backend.Analytic{} }
 
 // NativeBackend returns the measured host-CPU backend: min-of-runs wall
-// time of the warm streaming SpMV (runs <= 0 selects the default of
-// backend.DefaultRuns samples).
+// time of the warm tile-parallel SpMV through the format's own
+// executable kernel (runs <= 0 selects the default of
+// backend.DefaultRuns samples; the fan-out defaults to 1 thread — see
+// WithNativeThreads).
 func NativeBackend(runs int) Backend { return &backend.Native{Runs: runs} }
+
+// WithNativeThreads sets the SpMV fan-out of a native backend value: each
+// measured multiplication spreads its tile block rows over up to threads
+// goroutines. Only the native backend has a measured fan-out, and counts
+// beyond GOMAXPROCS are rejected — the extra goroutines could only
+// time-slice and distort the measurement.
+func WithNativeThreads(b Backend, threads int) (Backend, error) {
+	nb, ok := b.(*backend.Native)
+	if !ok {
+		return nil, fmt.Errorf("threads applies only to the native backend, not %q", b.ID())
+	}
+	if maxT := runtime.GOMAXPROCS(0); threads < 1 || threads > maxT {
+		return nil, fmt.Errorf("threads %d outside [1, GOMAXPROCS=%d]", threads, maxT)
+	}
+	nb.Threads = threads
+	return nb, nil
+}
 
 // BackendFor resolves a backend by ID ("analytic", "native"); the empty
 // string selects the analytic default.
@@ -244,6 +265,17 @@ func SpMV(m *Matrix, x []float64, f Format, p int) ([]float64, error) {
 // is the allocation-free warm path (reuse one StreamResult across calls),
 // and SetWorkers enables tile-parallel warmup with bit-identical results.
 type StreamPlan = hlsim.Plan
+
+// ExecPool is the persistent worker pool behind StreamPlan.RunExecInto,
+// the tile-parallel SpMV through each format's own executable kernel.
+// Plans use a process-shared GOMAXPROCS-wide pool by default; install a
+// custom one with StreamPlan.SetExecPool to bound exec parallelism
+// across many plans explicitly.
+type ExecPool = hlsim.ExecPool
+
+// NewExecPool starts a pool of `workers` parked helper goroutines for
+// RunExecInto (0 means every caller executes alone).
+func NewExecPool(workers int) *ExecPool { return hlsim.NewExecPool(workers) }
 
 // StreamResult is one modelled SpMV run: the functional output vector
 // plus the aggregated cycle totals. Hold one and call StreamPlan.RunInto

@@ -46,8 +46,9 @@ type Measurement struct {
 
 	// Runs and Threads record the measurement methodology for measured
 	// backends: the number of timed repetitions (Seconds is their
-	// minimum) and GOMAXPROCS at measurement time. Zero for modelled
-	// backends.
+	// minimum) and the effective SpMV fan-out actually used — the
+	// goroutine count each multiplication spread its block rows over,
+	// not the machine width. Zero for modelled backends.
 	Runs    int
 	Threads int
 }

@@ -3,6 +3,7 @@ package backend
 import (
 	"context"
 	"math"
+	"runtime"
 	"testing"
 
 	"copernicus/internal/formats"
@@ -86,6 +87,64 @@ func TestNativeMeasures(t *testing.T) {
 	for i := range ref {
 		if math.Abs(meas.Run.Y[i]-ref[i]) > 1e-9 {
 			t.Fatalf("native functional output diverges at row %d: %g vs %g", i, meas.Run.Y[i], ref[i])
+		}
+	}
+}
+
+// TestNativeThreads: the fan-out is validated against GOMAXPROCS,
+// recorded as the effective count actually used (1 when unset), and a
+// multi-thread measurement still reproduces the software reference.
+func TestNativeThreads(t *testing.T) {
+	pl := testPlan(t)
+	x := ones(pl.Matrix().Cols)
+	ref := pl.Matrix().MulVec(x)
+	maxT := runtime.GOMAXPROCS(0)
+
+	if _, err := (&Native{Threads: maxT + 1}).Evaluate(context.Background(), pl, formats.CSR, x); err == nil {
+		t.Fatalf("threads=%d accepted with GOMAXPROCS=%d", maxT+1, maxT)
+	}
+
+	for _, threads := range []int{0, 1, maxT} {
+		n := &Native{Runs: 2, Threads: threads}
+		meas, err := n.Evaluate(context.Background(), pl, formats.ELL, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := threads
+		if want == 0 {
+			want = 1
+		}
+		if meas.Threads != want {
+			t.Fatalf("Threads=%d recorded as %d, want effective %d", threads, meas.Threads, want)
+		}
+		for i := range ref {
+			if math.Abs(meas.Run.Y[i]-ref[i]) > 1e-9 {
+				t.Fatalf("threads=%d: output diverges at row %d", threads, i)
+			}
+		}
+	}
+}
+
+// TestNativeConcurrentEvaluates: concurrent multi-thread Evaluates on a
+// shared plan serialize on measureMu without deadlocking against the
+// exec worker pool — exec workers never take the measurement lock, and
+// dispatch is non-blocking, so lock-holders never wait on a specific
+// worker.
+func TestNativeConcurrentEvaluates(t *testing.T) {
+	pl := testPlan(t)
+	x := ones(pl.Matrix().Cols)
+	threads := min(2, runtime.GOMAXPROCS(0))
+	kinds := []formats.Kind{formats.CSR, formats.ELL, formats.DIA, formats.CSC}
+	errs := make(chan error, len(kinds))
+	for _, k := range kinds {
+		go func(k formats.Kind) {
+			_, err := (&Native{Runs: 1, Threads: threads}).Evaluate(context.Background(), pl, k, x)
+			errs <- err
+		}(k)
+	}
+	for range kinds {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
 		}
 	}
 }

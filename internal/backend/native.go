@@ -2,6 +2,7 @@ package backend
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"time"
@@ -11,28 +12,44 @@ import (
 )
 
 // Native measures what the analytic backend predicts: the real wall time
-// of the warm streaming SpMV (Plan.RunInto) on the host CPU. It reuses
-// the encode-once plan, so partitioning, encoding, and the decode
-// cross-check are identical to the analytic path and excluded from the
-// timing — the measurement covers exactly the per-iteration work the
-// model prices.
+// of the warm tile-parallel SpMV through the format's own executable
+// kernel (Plan.RunExecInto) on the host CPU. It reuses the encode-once
+// plan, so partitioning, encoding, and the decode cross-check are
+// identical to the analytic path and excluded from the timing — the
+// measurement covers exactly the per-iteration traversal the model
+// prices, walking the format's real encoded layout.
 //
-// Methodology: one untimed warm-up call triggers encode/verify and page
-// in the functional arrays; the timed phase then takes Runs samples and
-// reports their minimum (the least-disturbed observation of a
-// deterministic computation). Samples shorter than minSample are batched
-// — several RunInto calls per timer read — so clock granularity cannot
-// dominate small matrices. Threads records GOMAXPROCS at measurement
-// time; RunInto itself is single-threaded, so the figure documents the
-// measurement environment rather than a parallel speedup.
+// Methodology: one untimed warm-up call triggers encode/verify, the
+// resident exec encodings, and the output allocation; the timed phase
+// then takes Runs samples and reports their minimum (the least-disturbed
+// observation of a deterministic computation). Samples shorter than
+// minSample are batched — several SpMVs per timer read — so clock
+// granularity cannot dominate small matrices. Threads selects the fan-out
+// of each SpMV (1..GOMAXPROCS; the recorded Measurement.Threads is the
+// effective count actually used, 1 when unset).
+//
+// Lock ordering: the timed region holds the process-wide measureMu while
+// RunExecInto borrows parked ExecPool workers. The two are independent —
+// exec workers only run format kernels and never take measureMu (or any
+// backend lock), and measureMu holders never wait for a *specific*
+// worker (dispatch is non-blocking and degrades to serial) — so a
+// thread-count sweep holding the lock cannot deadlock against concurrent
+// exec or encode-pool activity.
 //
 // The absolute numbers are host CPU nanoseconds, not accelerator cycles:
-// they are comparable across formats on one machine (rank orderings,
-// ns-per-nnz trends), not to the modelled FPGA latencies.
+// they are comparable across formats and thread counts on one machine
+// (rank orderings, ns-per-nnz trends, parallel speedups), not to the
+// modelled FPGA latencies.
 type Native struct {
 	// Runs is the number of timed samples; the minimum is reported.
 	// Zero or negative selects DefaultRuns.
 	Runs int
+
+	// Threads is the SpMV fan-out: block rows are spread over up to this
+	// many goroutines per multiplication. Zero selects 1 (the serial
+	// kernel walk); values above GOMAXPROCS are rejected, since the extra
+	// goroutines could only time-slice and distort the measurement.
+	Threads int
 }
 
 // DefaultRuns is the min-of-k sample count used when Native.Runs is
@@ -67,12 +84,19 @@ func (*Native) Parallelizable() bool { return false }
 // calibration batches, and between timed samples — a measurement loop is
 // never left mid-flight holding the process-wide measurement lock.
 func (n *Native) Evaluate(ctx context.Context, pl *hlsim.Plan, k formats.Kind, x []float64) (Measurement, error) {
+	threads := n.Threads
+	if threads <= 0 {
+		threads = 1
+	}
+	if maxT := runtime.GOMAXPROCS(0); threads > maxT {
+		return Measurement{}, fmt.Errorf("backend: native threads %d exceeds GOMAXPROCS %d", threads, maxT)
+	}
 	r := new(hlsim.Result)
-	// Warm-up: encode, decode-verify, functional arrays, and the output
-	// buffer allocation all happen here, outside the timed region. The
-	// warm RunInto path is allocation-free, so the samples below time
-	// pure SpMV work.
-	if err := pl.RunIntoContext(ctx, k, x, r); err != nil {
+	// Warm-up: encode, decode-verify, the resident exec encodings, and
+	// the output buffer allocation all happen here, outside the timed
+	// region. The warm RunExecInto path is allocation-free, so the
+	// samples below time pure kernel work.
+	if err := pl.RunExecIntoContext(ctx, k, x, r, threads); err != nil {
 		return Measurement{}, err
 	}
 	if err := ctx.Err(); err != nil {
@@ -90,7 +114,7 @@ func (n *Native) Evaluate(ctx context.Context, pl *hlsim.Plan, k formats.Kind, x
 		}
 		start := time.Now()
 		for i := 0; i < batch; i++ {
-			if err := pl.RunInto(k, x, r); err != nil {
+			if err := pl.RunExecInto(k, x, r, threads); err != nil {
 				return Measurement{}, err
 			}
 		}
@@ -111,7 +135,7 @@ func (n *Native) Evaluate(ctx context.Context, pl *hlsim.Plan, k formats.Kind, x
 		}
 		start := time.Now()
 		for i := 0; i < batch; i++ {
-			if err := pl.RunInto(k, x, r); err != nil {
+			if err := pl.RunExecInto(k, x, r, threads); err != nil {
 				return Measurement{}, err
 			}
 		}
@@ -124,6 +148,6 @@ func (n *Native) Evaluate(ctx context.Context, pl *hlsim.Plan, k formats.Kind, x
 		Seconds:  best.Seconds() / float64(batch),
 		Measured: true,
 		Runs:     runs,
-		Threads:  runtime.GOMAXPROCS(0),
+		Threads:  threads,
 	}, nil
 }

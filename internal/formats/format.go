@@ -187,6 +187,15 @@ type Encoded interface {
 	Footprint() Footprint
 	// Stats returns the structural quantities for the cycle model.
 	Stats() Stats
+	// SpMV accumulates y += T·x by walking this encoding's own layout —
+	// the executable counterpart of the traversal the cycle model prices.
+	// x and y are tile-local views (callers offset the global vectors by
+	// the tile origin); either may be shorter than P near the matrix
+	// boundary, where the truncated region is all zero padding. Stored
+	// entries always index within both slices; kernels that walk padded
+	// or rectangular storage clamp or skip the out-of-range padding.
+	// See spmv.go for the per-format determinism contract.
+	SpMV(x, y []float64)
 }
 
 // Encode compresses the tile in the given format.

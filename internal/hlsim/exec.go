@@ -1,0 +1,359 @@
+package hlsim
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"copernicus/internal/formats"
+	"copernicus/internal/matrix"
+)
+
+// Tile-parallel executable SpMV: RunExecInto multiplies through the
+// format's own encoded layout (formats.Encoded.SpMV) instead of the
+// plan's CSR-native reference rows, partitioning tiles across a
+// persistent worker pool.
+//
+// Parallel decomposition: the partitioning emits tiles block-row-major,
+// so each grid block row is a contiguous tile range whose kernels write
+// a private y range. Workers claim whole block rows from an atomic
+// counter — exclusive output ownership, no atomics on y, and a result
+// that is bit-for-bit independent of the thread count (each block row's
+// tiles always run in ascending block-column order on one goroutine).
+//
+// Pool discipline mirrors EncodePool's token bucket: dispatch is a
+// non-blocking send to parked workers, so a busy pool degrades the call
+// toward serial execution instead of oversubscribing, and the caller
+// always executes too. Cancellation is checked between block-row claims;
+// a worker that observes it simply stops claiming, parks again, and the
+// pool's capacity is fully restored — there is no token to leak.
+
+// execSpan is one grid block row's ownership record: the half-open
+// output range y[y0:y1) and the contiguous tile range Tiles[t0:t1) that
+// writes it. Spans cover every block row — including all-zero ones with
+// t0 == t1 — so clearing y span-by-span covers the whole output.
+type execSpan struct {
+	y0, y1 int
+	t0, t1 int
+}
+
+// ensureSpans builds the block-row ownership table once per plan.
+func (pl *Plan) ensureSpans() {
+	pl.spansOnce.Do(func() {
+		tiles := pl.pt.Tiles
+		spans := make([]execSpan, 0, pl.pt.GridRows)
+		ti := 0
+		for br := 0; br < pl.pt.GridRows; br++ {
+			row := br * pl.p
+			t0 := ti
+			for ti < len(tiles) && tiles[ti].Row == row {
+				ti++
+			}
+			spans = append(spans, execSpan{
+				y0: row,
+				y1: min(row+pl.p, pl.m.Rows),
+				t0: t0,
+				t1: ti,
+			})
+		}
+		pl.spans = spans
+	})
+}
+
+// planExec is one format's executable state: a fresh re-encode of every
+// non-zero tile, kept resident for kernel traversal (the warmup
+// encodings are freed by the decode-verify pass, so the exec path owns
+// its own copy, accounted in MemoryBytes).
+type planExec struct {
+	encs  []formats.Encoded
+	bytes int64
+}
+
+// exec returns the cached executable state for format k, building it at
+// most once per (plan, format) under the slot's exec leader guard — the
+// same cancellation-safe discipline as format and verify: a canceled
+// leader publishes nothing and the next caller rebuilds cleanly.
+func (pl *Plan) exec(ctx context.Context, k formats.Kind) (*planExec, error) {
+	slot := &pl.fmts[k]
+	for {
+		if ex := slot.ex.Load(); ex != nil {
+			return ex, nil
+		}
+		slot.mu.Lock()
+		if ex := slot.ex.Load(); ex != nil {
+			slot.mu.Unlock()
+			return ex, nil
+		}
+		if w := slot.exWait; w != nil {
+			slot.mu.Unlock()
+			select {
+			case <-w:
+				continue
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		w := make(chan struct{})
+		slot.exWait = w
+		slot.mu.Unlock()
+
+		ex, err := pl.buildExec(ctx, k)
+		slot.mu.Lock()
+		slot.exWait = nil
+		if err == nil {
+			slot.ex.Store(ex)
+		}
+		slot.mu.Unlock()
+		close(w)
+		if err != nil {
+			return nil, err // canceled mid-build; slot stays idle
+		}
+		return ex, nil
+	}
+}
+
+// buildExec re-encodes every non-zero tile in format k for resident
+// kernel use, chunk-claimed across the caller plus any free encode-pool
+// helpers (fanOut), with cancellation checked between chunks.
+func (pl *Plan) buildExec(ctx context.Context, k formats.Kind) (*planExec, error) {
+	tiles := pl.pt.Tiles
+	n := len(tiles)
+	ex := &planExec{encs: make([]formats.Encoded, n)}
+	var next atomic.Int64
+	work := func() {
+		for ctx.Err() == nil {
+			lo := int(next.Add(encodeChunk)) - encodeChunk
+			if lo >= n {
+				return
+			}
+			for i := lo; i < min(lo+encodeChunk, n); i++ {
+				ex.encs[i] = formats.Encode(k, tiles[i])
+			}
+		}
+	}
+	pl.fanOut(work, n)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for _, enc := range ex.encs {
+		ex.bytes += int64(enc.Footprint().TotalBytes())
+	}
+	return ex, nil
+}
+
+// ExecPool is a set of persistently parked worker goroutines shared by
+// the RunExecInto paths of every plan that uses it. Dispatch is a
+// non-blocking handoff: a job reaches exactly as many workers as are
+// parked at that instant, and a fully busy pool leaves the caller
+// executing alone — concurrent measurements degrade gracefully instead
+// of oversubscribing the host (the EncodePool token-bucket discipline,
+// with the tokens embodied as parked workers).
+type ExecPool struct {
+	queue chan *execJob
+	quit  chan struct{}
+	idle  atomic.Int32
+	size  int
+}
+
+// NewExecPool starts a pool of `workers` parked helper goroutines
+// (0 means every caller executes alone).
+func NewExecPool(workers int) *ExecPool {
+	if workers < 0 {
+		workers = 0
+	}
+	p := &ExecPool{
+		queue: make(chan *execJob),
+		quit:  make(chan struct{}),
+		size:  workers,
+	}
+	p.idle.Store(int32(workers))
+	for i := 0; i < workers; i++ {
+		go p.work()
+	}
+	return p
+}
+
+func (p *ExecPool) work() {
+	for {
+		select {
+		case j := <-p.queue:
+			p.idle.Add(-1)
+			j.run()
+			// Park accounting precedes Done so that once the dispatcher's
+			// Wait returns, every helper it reached is already counted
+			// idle again — the invariant the leak test asserts.
+			p.idle.Add(1)
+			j.wg.Done()
+		case <-p.quit:
+			return
+		}
+	}
+}
+
+// Size returns the pool's worker count.
+func (p *ExecPool) Size() int { return p.size }
+
+// Idle returns how many workers are parked right now. After every
+// dispatched job has completed (or been canceled), Idle equals Size —
+// cancellation restores full capacity; there is no token to leak.
+func (p *ExecPool) Idle() int { return int(p.idle.Load()) }
+
+// Close stops the parked workers. Jobs already dispatched run to
+// completion; Close never strands a caller's WaitGroup.
+func (p *ExecPool) Close() { close(p.quit) }
+
+// sharedExec is the process-wide default pool, started on first use with
+// GOMAXPROCS-1 workers so a full-width RunExecInto (caller included)
+// matches the host's parallelism.
+var (
+	sharedExecOnce sync.Once
+	sharedExec     *ExecPool
+)
+
+func sharedExecPool() *ExecPool {
+	sharedExecOnce.Do(func() {
+		sharedExec = NewExecPool(runtime.GOMAXPROCS(0) - 1)
+	})
+	return sharedExec
+}
+
+// SetExecPool installs a (possibly shared) worker pool for this plan's
+// RunExecInto calls; nil restores the process-shared default.
+func (pl *Plan) SetExecPool(p *ExecPool) { pl.xpool.Store(p) }
+
+// execJob is one RunExecInto dispatch, pooled so the warm path performs
+// zero allocations. Workers and the caller claim block-row spans from
+// next; done (nil for uncancellable contexts) is polled between claims.
+type execJob struct {
+	encs  []formats.Encoded
+	tiles []*matrix.Tile
+	spans []execSpan
+	x, y  []float64
+	done  <-chan struct{}
+	next  atomic.Int64
+	wg    sync.WaitGroup
+}
+
+var execJobPool = sync.Pool{New: func() any { return new(execJob) }}
+
+// run claims block rows until none remain or the job is canceled. Each
+// claimed span clears its own y range and accumulates its tiles in
+// ascending block-column order through the format kernels.
+func (j *execJob) run() {
+	nspans := int64(len(j.spans))
+	for {
+		if j.done != nil {
+			select {
+			case <-j.done:
+				return
+			default:
+			}
+		}
+		s := j.next.Add(1) - 1
+		if s >= nspans {
+			return
+		}
+		sp := j.spans[s]
+		y := j.y[sp.y0:sp.y1]
+		clear(y)
+		for ti := sp.t0; ti < sp.t1; ti++ {
+			j.encs[ti].SpMV(j.x[j.tiles[ti].Col:], y)
+		}
+	}
+}
+
+// RunExecInto is RunInto through the executable format kernels: y = A·x
+// computed by walking format k's own encoded layout tile by tile, with
+// block rows fanned out across up to `threads` goroutines (the caller
+// plus parked pool workers). The result is bit-for-bit independent of
+// the thread count, and — for the row-ordered kernels (see
+// formats/spmv.go) — bit-identical to RunInto when every block row spans
+// a single tile column; multi-tile rows and the column-ordered kernels
+// agree within FP-reassociation tolerance. Cycle totals and footprints
+// in r come from the same cached per-format aggregates as RunInto. The
+// warm path performs zero allocations.
+func (pl *Plan) RunExecInto(k formats.Kind, x []float64, r *Result, threads int) error {
+	return pl.RunExecIntoContext(context.Background(), k, x, r, threads)
+}
+
+// RunExecIntoContext is RunExecInto under a context. Cancellation aborts
+// the one-time warmup (encode, decode-verify, exec build) between tile
+// chunks and the multiplication itself between block-row claims,
+// returning ctx.Err(); r's contents are then unspecified. A warm
+// uncancellable call (context.Background) polls nothing.
+func (pl *Plan) RunExecIntoContext(ctx context.Context, k formats.Kind, x []float64, r *Result, threads int) error {
+	if threads < 1 {
+		return fmt.Errorf("hlsim: RunExecInto with %d threads", threads)
+	}
+	if len(x) != pl.m.Cols {
+		return fmt.Errorf("hlsim: vector length %d for %d-column matrix", len(x), pl.m.Cols)
+	}
+	pf, err := pl.verify(ctx, k)
+	if err != nil {
+		return err
+	}
+	ex, err := pl.exec(ctx, k)
+	if err != nil {
+		return err
+	}
+	pl.ensureSpans()
+	y := r.Y
+	if cap(y) < pl.m.Rows {
+		y = make([]float64, pl.m.Rows)
+	} else {
+		if slicesOverlap(x, y[:cap(y)]) {
+			return fmt.Errorf("hlsim: RunExecInto input x overlaps the reused r.Y buffer; use a second Result to feed an output back in")
+		}
+		y = y[:pl.m.Rows]
+		// No global clear: every span clears its own y range, and the
+		// spans cover [0, rows) including all-zero block rows.
+	}
+	*r = Result{
+		Kind:              k,
+		P:                 pl.p,
+		Y:                 y,
+		NonZeroTiles:      len(pl.pt.Tiles),
+		TotalTiles:        pl.pt.TotalTiles,
+		MemCycles:         pf.agg.MemCycles,
+		ComputeCycles:     pf.agg.ComputeCycles,
+		DecompCycles:      pf.agg.DecompCycles,
+		PipelinedCycles:   pf.agg.PipelinedCycles,
+		IdleComputeCycles: pf.agg.IdleComputeCycles,
+		StallMemCycles:    pf.agg.StallMemCycles,
+		DotRows:           pf.agg.DotRows,
+		NNZ:               pf.agg.NNZ,
+		Footprint:         pf.agg.Footprint,
+		sumBalance:        pf.agg.sumBalance,
+		cfg:               pl.cfg,
+	}
+
+	job := execJobPool.Get().(*execJob)
+	job.encs, job.tiles, job.spans = ex.encs, pl.pt.Tiles, pl.spans
+	job.x, job.y = x, y
+	job.done = ctx.Done()
+	job.next.Store(0)
+
+	pool := pl.xpool.Load()
+	if pool == nil {
+		pool = sharedExecPool()
+	}
+dispatch:
+	for h := 0; h < min(threads-1, len(pl.spans)-1); h++ {
+		job.wg.Add(1)
+		select {
+		case pool.queue <- job: // a parked worker takes the job
+		default:
+			job.wg.Done()
+			break dispatch // pool busy: degrade toward serial
+		}
+	}
+	job.run()
+	job.wg.Wait()
+
+	job.encs, job.tiles, job.spans = nil, nil, nil
+	job.x, job.y, job.done = nil, nil, nil
+	execJobPool.Put(job)
+	return ctx.Err()
+}

@@ -45,6 +45,16 @@ type Plan struct {
 	// count even when many sweep groups warm plans at once.
 	encPool atomic.Pointer[EncodePool]
 
+	// xpool, when set, overrides the process-shared ExecPool used by the
+	// tile-parallel RunExecInto path; nil uses the shared default.
+	xpool atomic.Pointer[ExecPool]
+
+	// spansOnce/spans hold the per-grid-block-row ownership table of the
+	// exec path: each span owns a contiguous y range and tile range, so
+	// parallel workers never write the same output row (see exec.go).
+	spansOnce sync.Once
+	spans     []execSpan
+
 	// CSR-native functional view of the non-zero tiles, built lazily by
 	// ensureRows on the first multiplication (cycle-model-only paths —
 	// Trace, Schedule — never pay for it): each row spans
@@ -84,6 +94,13 @@ type planSlot struct {
 	// phase; sticky verify errors live in pf.
 	verWait  chan struct{}
 	verified bool
+	// exWait/ex play the same roles for the executable-kernel phase: ex
+	// holds the resident encodings the RunExecInto path walks (rebuilt
+	// fresh, since verify frees the warmup encodings). Published only by
+	// a leader that completed the build; a canceled leader leaves the
+	// slot idle for the next caller.
+	exWait chan struct{}
+	ex     atomic.Pointer[planExec]
 }
 
 // planFormat caches everything format-dependent: per-tile cycle costs,
@@ -216,6 +233,9 @@ func (pl *Plan) MemoryBytes() int64 {
 	for i := range pl.fmts {
 		if pf := pl.fmts[i].pf.Load(); pf != nil {
 			b += int64(len(pf.tiles)) * int64(unsafe.Sizeof(TileResult{}))
+		}
+		if ex := pl.fmts[i].ex.Load(); ex != nil {
+			b += ex.bytes
 		}
 	}
 	return b
@@ -361,29 +381,7 @@ func (pl *Plan) encodeFormat(ctx context.Context, k formats.Kind) (*planFormat, 
 			}
 		}
 	}
-	pool := pl.encPool.Load()
-	if pool != nil && n >= minParallelTiles {
-		var wg sync.WaitGroup
-		maxHelpers := min(cap(pool.tokens), n/encodeChunk-1)
-	borrow:
-		for h := 0; h < maxHelpers; h++ {
-			select {
-			case pool.tokens <- struct{}{}: // a helper slot is free now
-				wg.Add(1)
-				go func() {
-					defer wg.Done()
-					defer func() { <-pool.tokens }()
-					work()
-				}()
-			default:
-				break borrow // pool busy: the caller encodes alone
-			}
-		}
-		work()
-		wg.Wait()
-	} else {
-		work()
-	}
+	pl.fanOut(work, n)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -410,6 +408,40 @@ func (pl *Plan) encodeFormat(ctx context.Context, k formats.Kind) (*planFormat, 
 		pf.agg.sumBalance += tr.Balance()
 	}
 	return pf, nil
+}
+
+// fanOut runs the chunk-claiming work function on the calling goroutine
+// plus however many encode-pool helpers are free right now, for a task of
+// n tiles. Work functions claim chunks from a shared atomic counter, so
+// helper count only affects wall time, never results. With no pool, a
+// drained pool, or a tiny tile count the caller works alone. Both the
+// encode warmup and the exec-state build (exec.go) share this borrowing,
+// so total extra goroutines across concurrent sweep groups stay bounded
+// by the pool size.
+func (pl *Plan) fanOut(work func(), n int) {
+	pool := pl.encPool.Load()
+	if pool == nil || n < minParallelTiles {
+		work()
+		return
+	}
+	var wg sync.WaitGroup
+	maxHelpers := min(cap(pool.tokens), n/encodeChunk-1)
+borrow:
+	for h := 0; h < maxHelpers; h++ {
+		select {
+		case pool.tokens <- struct{}{}: // a helper slot is free now
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-pool.tokens }()
+				work()
+			}()
+		default:
+			break borrow // pool busy: the caller works alone
+		}
+	}
+	work()
+	wg.Wait()
 }
 
 // verify returns the cached per-format state after the decode-and-verify

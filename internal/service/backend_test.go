@@ -3,6 +3,7 @@ package service
 import (
 	"fmt"
 	"net/http"
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -173,5 +174,64 @@ func TestCharacterizeAndAdviseBackendParam(t *testing.T) {
 	}
 	if r := out["result"].(map[string]any); r["backend"] != "analytic" || r["measured"] != false {
 		t.Fatalf("default characterize result: %v", r)
+	}
+}
+
+// TestSweepThreadsParam: the threads parameter is native-only, bounded
+// by GOMAXPROCS, recorded in the results, and part of the cache key —
+// distinct thread counts never share an entry.
+func TestSweepThreadsParam(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	// Rejections: analytic backend, zero, and beyond GOMAXPROCS.
+	for _, q := range []string{
+		"backend=analytic&threads=2",
+		"backend=native&threads=0",
+		fmt.Sprintf("backend=native&threads=%d", runtime.GOMAXPROCS(0)+1),
+		"backend=native&threads=frogs",
+	} {
+		code, out := doJSON(t, "GET", ts.URL+"/v1/sweep?matrix=2C&formats=CSR&partitions=8&"+q, nil)
+		if code != http.StatusBadRequest {
+			t.Fatalf("%s: %d %v, want 400", q, code, out)
+		}
+	}
+
+	// threads=1 and the explicit default must share one cache entry; a
+	// different count must miss and record itself in the results.
+	sweep := func(q string) (bool, []any) {
+		code, out := doJSON(t, "GET", ts.URL+"/v1/sweep?matrix=2C&formats=CSR&partitions=8&backend=native"+q, nil)
+		if code != http.StatusOK {
+			t.Fatalf("sweep %q: %d %v", q, code, out)
+		}
+		return out["cached"].(bool), out["results"].([]any)
+	}
+	if cached, res := sweep(""); cached {
+		t.Fatal("first native sweep reported cached")
+	} else if th := res[0].(map[string]any)["threads"].(float64); th != 1 {
+		t.Fatalf("default native sweep recorded threads=%v, want 1", th)
+	}
+	if cached, _ := sweep("&threads=1"); !cached {
+		t.Fatal("threads=1 missed the default-threads entry (key drift)")
+	}
+	if maxT := runtime.GOMAXPROCS(0); maxT > 1 {
+		cached, res := sweep(fmt.Sprintf("&threads=%d", maxT))
+		if cached {
+			t.Fatalf("threads=%d served from the threads=1 entry — thread counts cross-contaminated", maxT)
+		}
+		if th := res[0].(map[string]any)["threads"].(float64); int(th) != maxT {
+			t.Fatalf("threads=%d sweep recorded threads=%v", maxT, th)
+		}
+	}
+
+	// POST body and advise/characterize accept the same parameter.
+	body := `{"matrix":"2C","formats":["CSR"],"partitions":[8],"backend":"native","threads":1}`
+	if code, out := doJSON(t, "POST", ts.URL+"/v1/sweep", strings.NewReader(body)); code != http.StatusOK || !out["cached"].(bool) {
+		t.Fatalf("POST threads=1: %d %v, want cached hit on the GET entry", code, out)
+	}
+	if code, _ := doJSON(t, "GET", ts.URL+"/v1/characterize?matrix=2C&format=CSR&p=8&backend=native&threads=1", nil); code != http.StatusOK {
+		t.Fatalf("characterize threads=1: %d", code)
+	}
+	if code, _ := doJSON(t, "GET", ts.URL+"/v1/advise?matrix=2C&p=8&backend=analytic&threads=2", nil); code != http.StatusBadRequest {
+		t.Fatal("advise accepted threads for the analytic backend")
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -177,6 +178,9 @@ func parsePartitions(ps []int) ([]int, error) {
 // sweeps of one point are distinct cache entries that never
 // cross-contaminate — while the engine plan cache below stays shared, so
 // a second backend on a warm point pays no re-partition or re-encode.
+// A native backend additionally keys its effective thread count, since
+// the measured seconds depend on the SpMV fan-out — one- and
+// eight-thread measurements of a point must never share an entry.
 // Format/partition order is part of the key because the stored results
 // mirror it — [CSR,ELL] and [ELL,CSR] cache separately.
 func sweepKey(matrixID string, b backend.Backend, kinds []formats.Kind, ps []int) string {
@@ -184,6 +188,10 @@ func sweepKey(matrixID string, b backend.Backend, kinds []formats.Kind, ps []int
 	sb.WriteString(matrixID)
 	sb.WriteString("|b=")
 	sb.WriteString(b.ID())
+	if nb, ok := b.(*backend.Native); ok {
+		sb.WriteString("|t=")
+		sb.WriteString(strconv.Itoa(max(nb.Threads, 1)))
+	}
 	sb.WriteString("|f=")
 	for i, k := range kinds {
 		if i > 0 {
@@ -199,6 +207,47 @@ func sweepKey(matrixID string, b backend.Backend, kinds []formats.Kind, ps []int
 		sb.WriteString(strconv.Itoa(p))
 	}
 	return sb.String()
+}
+
+// resolveBackend resolves a backend selection plus the optional SpMV
+// thread count. threads == 0 means unset (the native default of 1);
+// any explicit count is native-only — measured fan-out is meaningless
+// for the analytic model — and bounded by GOMAXPROCS, since goroutines
+// beyond the machine width could only time-slice and distort the
+// measurement. The thread count lands in the backend value itself, so
+// sweepKey can derive its cache-key component from the same source the
+// measurement uses.
+func resolveBackend(name string, threads int) (backend.Backend, error) {
+	b, err := backend.For(name)
+	if err != nil {
+		return nil, err
+	}
+	if threads == 0 {
+		return b, nil
+	}
+	nb, ok := b.(*backend.Native)
+	if !ok {
+		return nil, fmt.Errorf("threads applies only to the native backend, not %q", b.ID())
+	}
+	if maxT := runtime.GOMAXPROCS(0); threads < 1 || threads > maxT {
+		return nil, fmt.Errorf("threads %d outside [1, GOMAXPROCS=%d]", threads, maxT)
+	}
+	nb.Threads = threads
+	return nb, nil
+}
+
+// queryThreads parses the optional threads= query parameter (0 when
+// absent). An explicit value must be a positive integer; the upper
+// bound and backend applicability are resolveBackend's checks.
+func queryThreads(raw string) (int, error) {
+	if raw == "" {
+		return 0, nil
+	}
+	t, err := strconv.Atoi(raw)
+	if err != nil || t < 1 {
+		return 0, fmt.Errorf("bad threads %q (want a positive integer)", raw)
+	}
+	return t, nil
 }
 
 // errMatrixDeleted marks a sweep that lost a race with DELETE — a
@@ -376,12 +425,14 @@ func (s *Server) handleDeleteMatrix(w http.ResponseWriter, r *http.Request) {
 
 // sweepRequest is the POST /v1/sweep body. Backend selects the costing
 // backend ("analytic" cycle model by default, "native" for measured
-// host-CPU wall time).
+// host-CPU wall time); Threads sets the native SpMV fan-out
+// (native-only, 1..GOMAXPROCS, default 1).
 type sweepRequest struct {
 	Matrix     string   `json:"matrix"`
 	Formats    []string `json:"formats,omitempty"`
 	Partitions []int    `json:"partitions,omitempty"`
 	Backend    string   `json:"backend,omitempty"`
+	Threads    int      `json:"threads,omitempty"`
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -396,11 +447,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "missing \"matrix\"")
 		return
 	}
-	s.serveSweep(w, r, req.Matrix, req.Formats, req.Partitions, req.Backend)
+	s.serveSweep(w, r, req.Matrix, req.Formats, req.Partitions, req.Backend, req.Threads)
 }
 
 // handleSweepGet is the query-parameter form of /v1/sweep:
-// GET /v1/sweep?matrix=ID&formats=CSR,COO&partitions=8,16&backend=native.
+// GET /v1/sweep?matrix=ID&formats=CSR,COO&partitions=8,16&backend=native
+// (&threads=N for the native SpMV fan-out).
 // It feeds the same serveSweep tail as the POST form — identical
 // validation, canonical cache key, and response shape, so the two forms
 // share entries and cannot drift apart.
@@ -423,7 +475,12 @@ func (s *Server) handleSweepGet(w http.ResponseWriter, r *http.Request) {
 			ps = append(ps, p)
 		}
 	}
-	s.serveSweep(w, r, q.Get("matrix"), names, ps, q.Get("backend"))
+	threads, err := queryThreads(q.Get("threads"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.serveSweep(w, r, q.Get("matrix"), names, ps, q.Get("backend"), threads)
 }
 
 // serveSweep is the shared tail of both /v1/sweep forms: validate the
@@ -431,7 +488,7 @@ func (s *Server) handleSweepGet(w http.ResponseWriter, r *http.Request) {
 // as one JSON slab (the default) or, when the request prefers
 // application/x-ndjson, as a row-per-line stream flushed as each
 // (workload, p) group completes.
-func (s *Server) serveSweep(w http.ResponseWriter, r *http.Request, matrixID string, names []string, partitions []int, backendName string) {
+func (s *Server) serveSweep(w http.ResponseWriter, r *http.Request, matrixID string, names []string, partitions []int, backendName string, threads int) {
 	info, _, ok := s.reg.Lookup(matrixID)
 	if !ok {
 		writeErr(w, http.StatusNotFound, "unknown matrix %q", matrixID)
@@ -447,7 +504,7 @@ func (s *Server) serveSweep(w http.ResponseWriter, r *http.Request, matrixID str
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	b, err := backend.For(backendName)
+	b, err := resolveBackend(backendName, threads)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
@@ -543,7 +600,8 @@ func (s *Server) streamSweep(ctx context.Context, w http.ResponseWriter, info Ma
 }
 
 // handleCharacterize runs one (matrix, format, p) point:
-// GET /v1/characterize?matrix=ID&format=CSR&p=16&backend=analytic|native.
+// GET /v1/characterize?matrix=ID&format=CSR&p=16&backend=analytic|native
+// (&threads=N for the native SpMV fan-out).
 func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	info, _, ok := s.reg.Lookup(q.Get("matrix"))
@@ -570,7 +628,12 @@ func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	b, err := backend.For(q.Get("backend"))
+	threads, err := queryThreads(q.Get("threads"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	b, err := resolveBackend(q.Get("backend"), threads)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
@@ -591,7 +654,8 @@ func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 
 // handleAdvise recommends the best format for a (matrix, p) point:
 // GET /v1/advise?matrix=ID&p=16&objective=balanced|latency&backend=
-// analytic|native (native ranks by measured host wall time). The sweep
+// analytic|native (native ranks by measured host wall time, with
+// &threads=N selecting its SpMV fan-out). The sweep
 // behind it flows through the same cache as /v1/sweep — a prior sweep of
 // the sparse formats at the same p makes the advice free, and concurrent
 // advise calls share one engine run.
@@ -623,7 +687,12 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	b, err := backend.For(q.Get("backend"))
+	threads, err := queryThreads(q.Get("threads"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	b, err := resolveBackend(q.Get("backend"), threads)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return

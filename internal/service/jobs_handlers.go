@@ -45,7 +45,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	b, err := backend.For(req.Backend)
+	b, err := resolveBackend(req.Backend, req.Threads)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
