@@ -19,6 +19,7 @@
 //	-p N        partition size for advise (default 16)
 //	-backend B  costing backend for sweep/advise/bench: analytic|native
 //	-threads T  native SpMV fan-out (native backend only, 1..GOMAXPROCS)
+//	-kernel K   kernel spec for sweep/advise: spmv|spmm:K|cg:N|jacobi:N|pagerank:N|bfs
 //	-kind K     matrix kind for advise: random|band|graph|stencil|circuit|ml
 //	-n N        matrix dimension for advise (default 512)
 //	-density D  density for random/ml matrices (default 0.05)
@@ -77,6 +78,7 @@ func run(args []string) error {
 	iters := fs.Int("iters", 5, "timed iterations per benchmark (bench)")
 	backendID := fs.String("backend", "analytic", "costing backend for sweep/advise/bench: "+strings.Join(copernicus.BackendIDs(), "|"))
 	threads := fs.Int("threads", 0, "native SpMV fan-out for sweep/advise/bench: goroutines per multiplication (native backend only, 1..GOMAXPROCS)")
+	kernel := fs.String("kernel", "", "kernel spec for sweep/advise: spmv|spmm:K|cg:N|jacobi:N|pagerank:N|bfs (default spmv)")
 	formatsList := fs.String("formats", "", "comma-separated formats (sweep; default core set)")
 	psList := fs.String("ps", "8,16,32", "comma-separated partition sizes (sweep)")
 	addr := fs.String("addr", "localhost:8459", "listen address (serve)")
@@ -126,13 +128,13 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		return notePartial(sweepCmd(ctx, m, *kind, *backendID, *threads, *formatsList, *psList, *csv))
+		return notePartial(sweepCmd(ctx, m, *kind, *backendID, *threads, *kernel, *formatsList, *psList, *csv))
 	case "advise":
 		m, err := load()
 		if err != nil {
 			return err
 		}
-		return notePartial(advise(ctx, m, *kind, *p, *backendID, *threads))
+		return notePartial(advise(ctx, m, *kind, *p, *backendID, *threads, *kernel))
 	case "stats":
 		m, err := load()
 		if err != nil {
@@ -418,6 +420,96 @@ func benchCmd(ctx context.Context, scale, iters int, jsonOut bool, out, backendI
 		Name: "parallel_speedup_csr", Iterations: iters * 100, NsPerOp: csrTmaxNs, Speedup: speedup,
 	})
 
+	// CSR skip-list before/after: the exec CSR kernel walks an encode-time
+	// non-empty-row skip list instead of reading all p row offsets per
+	// tile. The full walk stays available as the bit-identical reference,
+	// so both traversals are timed on the same encoded tiles of the large
+	// sparse matrix — the pair records what the skip list buys.
+	pt := copernicus.PartitionMatrix(big, scale/4)
+	type csrTile struct {
+		enc *copernicus.CSRTile
+		row int
+		col int
+	}
+	var csrTiles []csrTile
+	for _, tile := range pt {
+		enc, ok := copernicus.Encode(copernicus.CSR, tile).(*copernicus.CSRTile)
+		if !ok {
+			return fmt.Errorf("bench: CSR encode returned %T", copernicus.Encode(copernicus.CSR, tile))
+		}
+		csrTiles = append(csrTiles, csrTile{enc: enc, row: tile.Row, col: tile.Col})
+	}
+	yWalk := make([]float64, big.Rows)
+	for _, mode := range []struct {
+		name string
+		full bool
+	}{{"csr_exec_full_row_walk", true}, {"csr_exec_skip_row_walk", false}} {
+		res, err = measure(mode.name, iters*10, 0, func() error {
+			clear(yWalk)
+			for _, ct := range csrTiles {
+				ys := yWalk[ct.row:min(ct.row+scale/4, big.Rows)]
+				if mode.full {
+					ct.enc.SpMVFullWalk(x[ct.col:], ys)
+				} else {
+					ct.enc.SpMV(x[ct.col:], ys)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		rec.Benchmarks = append(rec.Benchmarks, res)
+	}
+
+	// Kernel-axis benchmarks: one full multi-iteration kernel invocation
+	// through the warm exec iteration loop (RunKernelInto) — the unit the
+	// native backend times for -kernel specs. 60 CG iterations over CSR
+	// and an 8-column SpMM over SELL-C-σ, both single-threaded; the warm
+	// loop must stay allocation-free like the single SpMV it repeats.
+	kernelRuns := []struct {
+		name  string
+		f     copernicus.Format
+		iters int
+	}{
+		{"native_cg60_csr_t1", copernicus.CSR, 60},
+		{"native_spmm8_sellcs_t1", copernicus.SELLCS, 8},
+	}
+	for _, kr := range kernelRuns {
+		if err := warm.RunKernelInto(ctx, kr.f, x, &sr, 1, kr.iters); err != nil {
+			return err
+		}
+		res, err = measure(kr.name, iters*10, 0, func() error {
+			return warm.RunKernelInto(ctx, kr.f, x, &sr, 1, kr.iters)
+		})
+		if err != nil {
+			return err
+		}
+		rec.Benchmarks = append(rec.Benchmarks, res)
+	}
+
+	// Kernel-axis sweep: the SuiteSparse sweep across two kernel specs
+	// (spmv and cg:60) on the warm engine. The plan cache keys only
+	// (matrix, p), so the second kernel re-prices cached plans instead of
+	// re-encoding — this entry tracks that the axis stays close to 2x the
+	// single-kernel sweep, not 2x the cold cost.
+	cg60, err := copernicus.ParseKernel("cg:60")
+	if err != nil {
+		return err
+	}
+	axisSpecs := []copernicus.KernelSpec{copernicus.DefaultKernel(), cg60}
+	if _, err := e.SweepKernelsWith(ctx, bk, ws, axisSpecs, copernicus.CoreFormats(), copernicus.PartitionSizes()); err != nil {
+		return err
+	}
+	res, err = measure("sweep_kernel_axis_warm", iters, 2*points, func() error {
+		_, err := e.SweepKernelsWith(ctx, bk, ws, axisSpecs, copernicus.CoreFormats(), copernicus.PartitionSizes())
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	rec.Benchmarks = append(rec.Benchmarks, res)
+
 	for _, b := range rec.Benchmarks {
 		fmt.Printf("%-34s %8d iters  %12.0f ns/op %10.0f allocs/op %14.0f B/op\n",
 			b.Name, b.Iterations, b.NsPerOp, b.AllocsPerOp, b.BytesPerOp)
@@ -469,6 +561,15 @@ func cliBackend(backendID string, threads int) (copernicus.Backend, error) {
 		return b, nil
 	}
 	return copernicus.WithNativeThreads(b, threads)
+}
+
+// cliKernel resolves the -kernel flag; empty keeps the pre-kernel-axis
+// default of one SpMV.
+func cliKernel(kernel string) (copernicus.KernelSpec, error) {
+	if kernel == "" {
+		return copernicus.DefaultKernel(), nil
+	}
+	return copernicus.ParseKernel(kernel)
 }
 
 // buildMatrix generates a matrix of the named kind.
@@ -621,8 +722,12 @@ func writeArtifact(dir, id string, t copernicus.ExperimentTable) error {
 	return csvf.Close()
 }
 
-func advise(ctx context.Context, m *copernicus.Matrix, kind string, p int, backendID string, threads int) error {
+func advise(ctx context.Context, m *copernicus.Matrix, kind string, p int, backendID string, threads int, kernel string) error {
 	b, err := cliBackend(backendID, threads)
+	if err != nil {
+		return err
+	}
+	sc, err := cliKernel(kernel)
 	if err != nil {
 		return err
 	}
@@ -633,11 +738,14 @@ func advise(ctx context.Context, m *copernicus.Matrix, kind string, p int, backe
 	fmt.Printf("paper §8 rule of thumb: %v (alternatives %v)\n  %s\n", sf, alts, why)
 
 	// The analytic default keeps this artifact byte-identical to the
-	// pre-backend CLI; other backends announce themselves.
+	// pre-backend CLI; other backends and kernels announce themselves.
 	if b.ID() != "analytic" {
 		fmt.Printf("backend: %s (latency axis is measured host wall time)\n", b.ID())
 	}
-	rec, err := copernicus.NewEngine().RecommendWith(ctx, b, m, p, nil, copernicus.BalancedObjective())
+	if s := sc.String(); s != "spmv" {
+		fmt.Printf("kernel: %s (latency axis is the whole kernel invocation, decompression amortized)\n", s)
+	}
+	rec, err := copernicus.NewEngine().RecommendKernelWith(ctx, b, m, sc, p, nil, copernicus.BalancedObjective())
 	if err != nil {
 		return err
 	}
@@ -652,16 +760,22 @@ func advise(ctx context.Context, m *copernicus.Matrix, kind string, p int, backe
 }
 
 // sweepCmd characterizes one matrix across formats × partition sizes
-// under the selected backend — the CLI face of the backend seam. With
-// -backend native the seconds/ns-per-nnz columns are measured host-CPU
-// wall time of the warm streaming SpMV; with the default analytic
-// backend they are the paper's modelled accelerator time.
+// under the selected backend and kernel — the CLI face of the backend
+// seam and the kernel axis. With -backend native the seconds/ns-per-nnz
+// columns are measured host-CPU wall time of the warm streaming kernel;
+// with the default analytic backend they are the paper's modelled
+// accelerator time. With -kernel cg:60 (etc.) every row costs the whole
+// iteration loop, decompression amortized across iterations.
 //
 // Rows print as each partition-size group completes (the engine's
 // streaming sweep), so a canceled run still shows the finished groups —
 // the caller marks such output as partial.
-func sweepCmd(ctx context.Context, m *copernicus.Matrix, kind, backendID string, threads int, formatsList, psList string, csv bool) error {
+func sweepCmd(ctx context.Context, m *copernicus.Matrix, kind, backendID string, threads int, kernel, formatsList, psList string, csv bool) error {
 	b, err := cliBackend(backendID, threads)
+	if err != nil {
+		return err
+	}
+	sc, err := cliKernel(kernel)
 	if err != nil {
 		return err
 	}
@@ -687,11 +801,12 @@ func sweepCmd(ctx context.Context, m *copernicus.Matrix, kind, backendID string,
 
 	e := copernicus.NewEngine()
 	ws := []copernicus.Workload{{ID: "matrix", M: m}}
+	specs := []copernicus.KernelSpec{sc}
 	if csv {
-		fmt.Println("backend,format,p,seconds,ns_per_nnz,sigma,balance,bw_util,measured")
-		return e.SweepStreamWith(ctx, b, ws, kinds, ps, func(r copernicus.Result) error {
-			fmt.Printf("%s,%s,%d,%.6e,%.3f,%.3f,%.3f,%.4f,%t\n",
-				r.Backend, r.Format, r.P, r.Seconds, r.NsPerNNZ, r.Sigma,
+		fmt.Println("backend,kernel,iterations,format,p,seconds,ns_per_nnz,sigma,balance,bw_util,measured")
+		return e.SweepStreamKernelsWith(ctx, b, ws, specs, kinds, ps, func(r copernicus.Result) error {
+			fmt.Printf("%s,%s,%d,%s,%d,%.6e,%.3f,%.3f,%.3f,%.4f,%t\n",
+				r.Backend, r.Kernel, r.Iterations, r.Format, r.P, r.Seconds, r.NsPerNNZ, r.Sigma,
 				r.BalanceRatio, r.BandwidthUtil, r.Measured)
 			return nil
 		})
@@ -699,13 +814,16 @@ func sweepCmd(ctx context.Context, m *copernicus.Matrix, kind, backendID string,
 	fmt.Printf("matrix: %s, %dx%d, nnz=%d, density=%.4g\n",
 		kind, m.Rows, m.Cols, m.NNZ(), m.Density())
 	headed := false
-	return e.SweepStreamWith(ctx, b, ws, kinds, ps, func(r copernicus.Result) error {
+	return e.SweepStreamKernelsWith(ctx, b, ws, specs, kinds, ps, func(r copernicus.Result) error {
 		if !headed {
 			headed = true
 			fmt.Printf("backend: %s", b.ID())
 			if b.ID() == "native" {
 				fmt.Printf(" (min of %d timed runs, threads=%d; host ns, not accelerator cycles)",
 					r.MeasuredRuns, r.Threads)
+			}
+			if r.Kernel != "spmv" {
+				fmt.Printf("  kernel: %s (%d iterations per invocation)", r.Kernel, r.Iterations)
 			}
 			fmt.Println()
 			fmt.Println("format   p    seconds     ns/nnz      sigma    balance  bw_util")

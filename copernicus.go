@@ -44,6 +44,7 @@ import (
 	"copernicus/internal/matrix"
 	"copernicus/internal/mtx"
 	"copernicus/internal/report"
+	"copernicus/internal/scenario"
 	"copernicus/internal/synth"
 	"copernicus/internal/workloads"
 )
@@ -111,6 +112,18 @@ type Encoded = formats.Encoded
 
 // Encode compresses one tile in the given format.
 func Encode(f Format, t *Tile) Encoded { return formats.Encode(f, t) }
+
+// CSRTile is the CSR encoding of one tile. Beyond the Encoded interface
+// it exposes the executable kernel pair the bench artifact compares:
+// SpMV (the encode-time non-empty-row skip-list walk) and SpMVFullWalk
+// (the per-row offset walk it replaced, kept as the bit-identical
+// reference).
+type CSRTile = formats.CSREnc
+
+// PartitionMatrix partitions m into its p×p tile grid, returning the
+// non-empty tiles block-row-major (each Tile records its Row/Col origin
+// in the parent matrix).
+func PartitionMatrix(m *Matrix, p int) []*Tile { return matrix.Partition(m, p).Tiles }
 
 // Workload generators (§3). All are deterministic in their seed.
 
@@ -228,6 +241,24 @@ func BackendFor(id string) (Backend, error) { return backend.For(id) }
 
 // BackendIDs lists the selectable backend identifiers.
 func BackendIDs() []string { return backend.IDs() }
+
+// KernelSpec selects the kernel a characterization point is costed for:
+// one SpMV (the default), a k-column SpMM, or an N-iteration solver loop
+// (cg, jacobi, pagerank) whose inner operation is the modelled SpMV. BFS
+// resolves its iteration count from the matrix itself (its frontier
+// level count). Engine methods with a Kernel infix — CharacterizeKernelWith,
+// SweepFormatsKernelWith, SweepKernelsWith, SweepStreamKernelsWith,
+// SweepGroupsKernelsWith, RecommendKernelWith — take the spec (or a list
+// of specs) as a sweep axis alongside formats and partition sizes.
+type KernelSpec = scenario.Spec
+
+// ParseKernel parses a kernel spec string: "spmv", "bfs", or
+// "spmm:K"/"cg:N"/"jacobi:N"/"pagerank:N" with a positive parameter.
+func ParseKernel(s string) (KernelSpec, error) { return scenario.Parse(s) }
+
+// DefaultKernel returns the spmv spec — the kernel every
+// kernel-unaware entry point characterizes.
+func DefaultKernel() KernelSpec { return scenario.Default() }
 
 // NewEngine returns an engine with the calibrated default hardware model
 // (250 MHz, 64-bit dual AXI streamlines; see internal/hlsim).

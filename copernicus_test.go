@@ -247,7 +247,7 @@ func TestRecommendDesignFacade(t *testing.T) {
 
 func TestExtExperimentsFacade(t *testing.T) {
 	ids := copernicus.ExtExperiments()
-	if len(ids) != 8 {
+	if len(ids) != 9 { // ext1..ext7, the ext8 rank-agreement table, the ext9 kernel flip table
 		t.Fatalf("ext experiments = %d", len(ids))
 	}
 	tab, err := copernicus.RunExperiment(copernicus.NewSmallReportOptions(), ids[0])

@@ -24,21 +24,31 @@ import (
 
 	"copernicus/internal/formats"
 	"copernicus/internal/hlsim"
+	"copernicus/internal/scenario"
 )
 
-// Measurement is one costed evaluation of a (plan, format) point.
+// Measurement is one costed evaluation of a (plan, kernel, format) point.
 type Measurement struct {
 	// Run carries the functional SpMV output (verified upstream against
 	// the software reference) and the plan's cached analytic cycle
 	// totals. Structural metrics — σ, balance, per-tile cycle means,
 	// utilizations — derive from Run under every backend: they describe
-	// the format and the modelled hardware, not the costing method.
+	// the format and the modelled hardware, not the costing method or
+	// the kernel's iteration count.
 	Run *hlsim.Result
 
-	// Seconds is the backend's cost of one SpMV of the point: modelled
+	// Seconds is the backend's cost of one full kernel invocation of the
+	// point — all Iterations of it, not one SpMV: amortized modelled
 	// cycles at the configured clock for Analytic, measured wall time of
-	// the warm streaming SpMV for Native.
+	// the warm exec iteration loop for Native. For the spmv kernel this
+	// is the cost of one SpMV, exactly as before the kernel axis.
 	Seconds float64
+
+	// Iterations is the kernel's resolved SpMV-shaped iteration count
+	// that Seconds covers: 1 for spmv, N for cg:N/jacobi:N/pagerank:N,
+	// the column count for spmm:k, and the matrix's frontier level count
+	// for bfs.
+	Iterations int
 
 	// Measured is true when Seconds is a wall-clock measurement rather
 	// than a model prediction.
@@ -62,14 +72,17 @@ type Backend interface {
 	// artifact, so it must never change for an existing backend.
 	ID() string
 
-	// Evaluate costs one (plan, format) point, multiplying by x. The
-	// plan's encode-once state is shared across backends; Evaluate pays
-	// only per-evaluation work (the functional dot products, plus timing
-	// for measured backends). A canceled ctx aborts promptly — between
-	// warmup tile chunks for every backend, and between timed samples for
-	// measured ones — returning ctx.Err() without corrupting shared plan
-	// state.
-	Evaluate(ctx context.Context, pl *hlsim.Plan, k formats.Kind, x []float64) (Measurement, error)
+	// Evaluate costs one (plan, kernel, format) point, multiplying by x.
+	// The kernel spec selects what is priced or measured: one SpMV, an
+	// SpMM, or an N-iteration solver loop (Analytic amortizes the
+	// one-time decomposition over the iterations; Native times the real
+	// exec iteration loop). The plan's encode-once state is shared across
+	// backends and kernels; Evaluate pays only per-evaluation work (the
+	// functional dot products, plus timing for measured backends). A
+	// canceled ctx aborts promptly — between warmup tile chunks for every
+	// backend, and between iterations and timed samples for measured ones
+	// — returning ctx.Err() without corrupting shared plan state.
+	Evaluate(ctx context.Context, pl *hlsim.Plan, sc scenario.Spec, k formats.Kind, x []float64) (Measurement, error)
 
 	// Parallelizable reports whether concurrent Evaluate calls preserve
 	// result quality. The analytic model is pure and parallelizes

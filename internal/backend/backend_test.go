@@ -9,6 +9,7 @@ import (
 	"copernicus/internal/formats"
 	"copernicus/internal/gen"
 	"copernicus/internal/hlsim"
+	"copernicus/internal/scenario"
 )
 
 func testPlan(t *testing.T) *hlsim.Plan {
@@ -39,7 +40,7 @@ func TestAnalyticMatchesPlanRun(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		meas, err := Analytic{}.Evaluate(context.Background(), pl, k, x)
+		meas, err := Analytic{}.Evaluate(context.Background(), pl, scenario.Default(), k, x)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -68,7 +69,7 @@ func TestNativeMeasures(t *testing.T) {
 	x := ones(pl.Matrix().Cols)
 	ref := pl.Matrix().MulVec(x)
 	n := &Native{Runs: 3}
-	meas, err := n.Evaluate(context.Background(), pl, formats.CSR, x)
+	meas, err := n.Evaluate(context.Background(), pl, scenario.Default(), formats.CSR, x)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,13 +101,13 @@ func TestNativeThreads(t *testing.T) {
 	ref := pl.Matrix().MulVec(x)
 	maxT := runtime.GOMAXPROCS(0)
 
-	if _, err := (&Native{Threads: maxT + 1}).Evaluate(context.Background(), pl, formats.CSR, x); err == nil {
+	if _, err := (&Native{Threads: maxT + 1}).Evaluate(context.Background(), pl, scenario.Default(), formats.CSR, x); err == nil {
 		t.Fatalf("threads=%d accepted with GOMAXPROCS=%d", maxT+1, maxT)
 	}
 
 	for _, threads := range []int{0, 1, maxT} {
 		n := &Native{Runs: 2, Threads: threads}
-		meas, err := n.Evaluate(context.Background(), pl, formats.ELL, x)
+		meas, err := n.Evaluate(context.Background(), pl, scenario.Default(), formats.ELL, x)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -138,7 +139,7 @@ func TestNativeConcurrentEvaluates(t *testing.T) {
 	errs := make(chan error, len(kinds))
 	for _, k := range kinds {
 		go func(k formats.Kind) {
-			_, err := (&Native{Runs: 1, Threads: threads}).Evaluate(context.Background(), pl, k, x)
+			_, err := (&Native{Runs: 1, Threads: threads}).Evaluate(context.Background(), pl, scenario.Default(), k, x)
 			errs <- err
 		}(k)
 	}
@@ -152,7 +153,7 @@ func TestNativeConcurrentEvaluates(t *testing.T) {
 // TestNativeDefaultRuns: zero Runs selects the documented default.
 func TestNativeDefaultRuns(t *testing.T) {
 	pl := testPlan(t)
-	meas, err := (&Native{}).Evaluate(context.Background(), pl, formats.COO, ones(pl.Matrix().Cols))
+	meas, err := (&Native{}).Evaluate(context.Background(), pl, scenario.Default(), formats.COO, ones(pl.Matrix().Cols))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +166,7 @@ func TestNativeDefaultRuns(t *testing.T) {
 // the native backend too, not a panic.
 func TestNativePropagatesPlanErrors(t *testing.T) {
 	pl := testPlan(t)
-	if _, err := (&Native{}).Evaluate(context.Background(), pl, formats.Kind(99), ones(pl.Matrix().Cols)); err == nil {
+	if _, err := (&Native{}).Evaluate(context.Background(), pl, scenario.Default(), formats.Kind(99), ones(pl.Matrix().Cols)); err == nil {
 		t.Fatal("native accepted an unknown format kind")
 	}
 }

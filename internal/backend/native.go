@@ -9,24 +9,30 @@ import (
 
 	"copernicus/internal/formats"
 	"copernicus/internal/hlsim"
+	"copernicus/internal/scenario"
 )
 
 // Native measures what the analytic backend predicts: the real wall time
-// of the warm tile-parallel SpMV through the format's own executable
-// kernel (Plan.RunExecInto) on the host CPU. It reuses the encode-once
-// plan, so partitioning, encoding, and the decode cross-check are
-// identical to the analytic path and excluded from the timing — the
-// measurement covers exactly the per-iteration traversal the model
-// prices, walking the format's real encoded layout.
+// of the warm tile-parallel kernel through the format's own executable
+// layout (Plan.RunExecInto, driven per iteration by Plan.RunKernelInto)
+// on the host CPU. It reuses the encode-once plan, so partitioning,
+// encoding, and the decode cross-check are identical to the analytic path
+// and excluded from the timing — the measurement covers exactly the
+// iteration traversal the model prices, walking the format's real encoded
+// layout. A multi-iteration kernel spec (cg:60, spmm:8, ...) times the
+// whole resolved iteration loop as one unit, so the reported seconds is
+// the measured counterpart of the analytic amortized kernel cost.
 //
-// Methodology: one untimed warm-up call triggers encode/verify, the
-// resident exec encodings, and the output allocation; the timed phase
-// then takes Runs samples and reports their minimum (the least-disturbed
-// observation of a deterministic computation). Samples shorter than
-// minSample are batched — several SpMVs per timer read — so clock
-// granularity cannot dominate small matrices. Threads selects the fan-out
-// of each SpMV (1..GOMAXPROCS; the recorded Measurement.Threads is the
-// effective count actually used, 1 when unset).
+// Methodology — unchanged from the single-SpMV path: one untimed warm-up
+// call triggers encode/verify, the resident exec encodings, and the
+// output allocation; the timed phase then takes Runs samples and reports
+// their minimum (the least-disturbed observation of a deterministic
+// computation). Samples shorter than minSample are batched — several
+// kernel invocations per timer read — so clock granularity cannot
+// dominate small matrices (a 60-iteration kernel usually self-batches
+// past the threshold at batch 1). Threads selects the fan-out of each
+// SpMV (1..GOMAXPROCS; the recorded Measurement.Threads is the effective
+// count actually used, 1 when unset).
 //
 // Lock ordering: the timed region holds the process-wide measureMu while
 // RunExecInto borrows parked ExecPool workers. The two are independent —
@@ -79,11 +85,13 @@ func (*Native) ID() string { return "native" }
 // cores and inflate each other, so sweeps serialize native points.
 func (*Native) Parallelizable() bool { return false }
 
-// Evaluate measures the warm SpMV of one (plan, format) point. A
-// canceled ctx aborts the run between the warmup's tile chunks, between
+// Evaluate measures the warm kernel of one (plan, kernel, format) point:
+// the timed unit is one full kernel invocation — the spec's resolved
+// iteration count of back-to-back exec SpMVs. A canceled ctx aborts the
+// run between the warmup's tile chunks, between iterations, between
 // calibration batches, and between timed samples — a measurement loop is
 // never left mid-flight holding the process-wide measurement lock.
-func (n *Native) Evaluate(ctx context.Context, pl *hlsim.Plan, k formats.Kind, x []float64) (Measurement, error) {
+func (n *Native) Evaluate(ctx context.Context, pl *hlsim.Plan, sc scenario.Spec, k formats.Kind, x []float64) (Measurement, error) {
 	threads := n.Threads
 	if threads <= 0 {
 		threads = 1
@@ -91,10 +99,11 @@ func (n *Native) Evaluate(ctx context.Context, pl *hlsim.Plan, k formats.Kind, x
 	if maxT := runtime.GOMAXPROCS(0); threads > maxT {
 		return Measurement{}, fmt.Errorf("backend: native threads %d exceeds GOMAXPROCS %d", threads, maxT)
 	}
+	iters := sc.Iterations(pl.Matrix())
 	r := new(hlsim.Result)
 	// Warm-up: encode, decode-verify, the resident exec encodings, and
 	// the output buffer allocation all happen here, outside the timed
-	// region. The warm RunExecInto path is allocation-free, so the
+	// region. The warm RunKernelInto path is allocation-free, so the
 	// samples below time pure kernel work.
 	if err := pl.RunExecIntoContext(ctx, k, x, r, threads); err != nil {
 		return Measurement{}, err
@@ -114,7 +123,7 @@ func (n *Native) Evaluate(ctx context.Context, pl *hlsim.Plan, k formats.Kind, x
 		}
 		start := time.Now()
 		for i := 0; i < batch; i++ {
-			if err := pl.RunExecInto(k, x, r, threads); err != nil {
+			if err := pl.RunKernelInto(ctx, k, x, r, threads, iters); err != nil {
 				return Measurement{}, err
 			}
 		}
@@ -135,7 +144,7 @@ func (n *Native) Evaluate(ctx context.Context, pl *hlsim.Plan, k formats.Kind, x
 		}
 		start := time.Now()
 		for i := 0; i < batch; i++ {
-			if err := pl.RunExecInto(k, x, r, threads); err != nil {
+			if err := pl.RunKernelInto(ctx, k, x, r, threads, iters); err != nil {
 				return Measurement{}, err
 			}
 		}
@@ -144,10 +153,11 @@ func (n *Native) Evaluate(ctx context.Context, pl *hlsim.Plan, k formats.Kind, x
 		}
 	}
 	return Measurement{
-		Run:      r,
-		Seconds:  best.Seconds() / float64(batch),
-		Measured: true,
-		Runs:     runs,
-		Threads:  threads,
+		Run:        r,
+		Seconds:    best.Seconds() / float64(batch),
+		Iterations: iters,
+		Measured:   true,
+		Runs:       runs,
+		Threads:    threads,
 	}, nil
 }

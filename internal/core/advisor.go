@@ -9,6 +9,7 @@ import (
 	"copernicus/internal/backend"
 	"copernicus/internal/formats"
 	"copernicus/internal/matrix"
+	"copernicus/internal/scenario"
 )
 
 // Objective weights the metrics an advisor recommendation optimizes.
@@ -54,10 +55,22 @@ func (e *Engine) Recommend(m *matrix.CSR, p int, candidates []formats.Kind, obj 
 // time for native — while the power/resource axes stay the synthesis
 // estimates. A canceled ctx aborts the sweep behind the ranking.
 func (e *Engine) RecommendWith(ctx context.Context, b backend.Backend, m *matrix.CSR, p int, candidates []formats.Kind, obj Objective) (Recommendation, error) {
+	return e.RecommendKernelWith(ctx, b, m, scenario.Default(), p, candidates, obj)
+}
+
+// RecommendKernelWith is RecommendWith on the kernel axis: candidates are
+// ranked by their cost for the given kernel spec — "best format for 60 CG
+// iterations", not just "best format for one SpMV". Under the analytic
+// backend the latency axis is the amortized kernel cost (decomposition
+// paid once, per-iteration work × N); under native it is the measured
+// wall time of the real exec iteration loop. The one-shot decompression
+// penalty that dominates a single SpMV fades with iteration count, which
+// can flip the recommendation (report ext9 tabulates exactly this).
+func (e *Engine) RecommendKernelWith(ctx context.Context, b backend.Backend, m *matrix.CSR, sc scenario.Spec, p int, candidates []formats.Kind, obj Objective) (Recommendation, error) {
 	if len(candidates) == 0 {
 		candidates = formats.Sparse()
 	}
-	rs, err := e.SweepFormatsWith(ctx, b, "advisor", m, p, candidates)
+	rs, err := e.SweepFormatsKernelWith(ctx, b, "advisor", m, sc, p, candidates)
 	if err != nil {
 		return Recommendation{}, err
 	}
@@ -90,9 +103,13 @@ func Rank(rs []Result, obj Objective) (Recommendation, error) {
 		rec.Results = append(rec.Results, rs[i])
 	}
 	best := rs[order[0]]
+	kern := ""
+	if best.Kernel != "" && best.Kernel != "spmv" {
+		kern = fmt.Sprintf(" for %s (%d iterations)", best.Kernel, best.Iterations)
+	}
 	rec.Reason = fmt.Sprintf(
-		"%v wins at p=%d: modelled time %.3gs (σ=%.2f), bandwidth utilization %.2f, %.0f mW dynamic, %d BRAM banks",
-		best.Format, best.P, best.Seconds, best.Sigma, best.BandwidthUtil,
+		"%v wins at p=%d%s: modelled time %.3gs (σ=%.2f), bandwidth utilization %.2f, %.0f mW dynamic, %d BRAM banks",
+		best.Format, best.P, kern, best.Seconds, best.Sigma, best.BandwidthUtil,
 		best.Synth.DynamicW*1000, best.Synth.BRAM18K)
 	return rec, nil
 }

@@ -64,6 +64,10 @@ func preBackendResult(t *testing.T, cfg hlsim.Config, name string, m *matrix.CSR
 	if run.NNZ > 0 {
 		r.NsPerNNZ = run.Seconds() * 1e9 / float64(run.NNZ)
 	}
+	// The fields the kernel axis added, with their documented values for
+	// the implicit pre-kernel-axis kernel: one SpMV.
+	r.Kernel = "spmv"
+	r.Iterations = 1
 	return r
 }
 

@@ -21,6 +21,7 @@ import (
 	"copernicus/internal/formats"
 	"copernicus/internal/hlsim"
 	"copernicus/internal/matrix"
+	"copernicus/internal/scenario"
 	"copernicus/internal/synth"
 	"copernicus/internal/workloads"
 	"copernicus/internal/xrand"
@@ -31,6 +32,14 @@ type Result struct {
 	Workload string
 	Format   formats.Kind
 	P        int
+
+	// Kernel is the canonical kernel spec this point was costed for
+	// ("spmv", "cg:60", "spmm:8", ...; see internal/scenario), and
+	// Iterations its resolved SpMV-shaped iteration count (1 for spmv,
+	// the frontier level count for bfs). Seconds — and everything derived
+	// from it — covers the whole kernel invocation, all Iterations of it.
+	Kernel     string
+	Iterations int
 
 	// Backend identifies the backend that costed this point ("analytic"
 	// for the paper's cycle model, "native" for host-CPU measurement);
@@ -58,11 +67,13 @@ type Result struct {
 	MeanMemCycles     float64
 	MeanComputeCycles float64
 	// Seconds is the point's cost under the backend (modelled end-to-end
-	// time for analytic, measured wall time for native); ThroughputBps is
+	// time for analytic, measured wall time for native) for one full
+	// kernel invocation — all Iterations of it; ThroughputBps is
 	// processed bytes (data + metadata) per second of it. NsPerNNZ is
 	// Seconds over the stored non-zeros in nanoseconds — the
 	// backend-neutral per-element cost the model-vs-measured comparison
-	// plots.
+	// plots (per kernel invocation, so multi-iteration kernels scale it
+	// with their iteration count).
 	Seconds       float64
 	ThroughputBps float64
 	NsPerNNZ      float64
@@ -316,17 +327,19 @@ func defaultBackend(b backend.Backend) backend.Backend {
 	return b
 }
 
-// characterizeOn runs one format point on a prepared plan against a
-// precomputed operand vector and software reference — the shared inner
-// step of Characterize and Sweep. The backend supplies the cost (Seconds
-// and everything derived from it); the structural metrics come from the
-// plan's analytic cycle totals either way, and the functional output is
-// verified against the reference under every backend.
-func (e *Engine) characterizeOn(ctx context.Context, b backend.Backend, name string, pl *hlsim.Plan, k formats.Kind, x, ref []float64) (Result, error) {
+// characterizeOn runs one (kernel, format) point on a prepared plan
+// against a precomputed operand vector and software reference — the
+// shared inner step of Characterize and Sweep. The backend supplies the
+// cost (Seconds and everything derived from it) for the kernel's full
+// iteration stream; the structural metrics come from the plan's analytic
+// cycle totals either way, and the functional output — one A·x, the
+// iteration operand held fixed — is verified against the reference under
+// every backend and kernel.
+func (e *Engine) characterizeOn(ctx context.Context, b backend.Backend, name string, pl *hlsim.Plan, sc scenario.Spec, k formats.Kind, x, ref []float64) (Result, error) {
 	p := pl.P()
-	meas, err := b.Evaluate(ctx, pl, k, x)
+	meas, err := b.Evaluate(ctx, pl, sc, k, x)
 	if err != nil {
-		return Result{}, fmt.Errorf("core: %s/%v/p=%d: %w", name, k, p, err)
+		return Result{}, fmt.Errorf("core: %s/%s/%v/p=%d: %w", name, sc, k, p, err)
 	}
 	run := meas.Run
 	for i := range ref {
@@ -355,6 +368,8 @@ func (e *Engine) characterizeOn(ctx context.Context, b backend.Backend, name str
 		Workload:          name,
 		Format:            k,
 		P:                 p,
+		Kernel:            sc.String(),
+		Iterations:        meas.Iterations,
 		Backend:           b.ID(),
 		Measured:          meas.Measured,
 		MeasuredRuns:      meas.Runs,
@@ -391,13 +406,25 @@ func (e *Engine) Characterize(name string, m *matrix.CSR, k formats.Kind, p int)
 // backends — only the costing differs. A canceled ctx aborts the point's
 // warmup (and a measured backend's timing loop) and returns ctx.Err().
 func (e *Engine) CharacterizeWith(ctx context.Context, b backend.Backend, name string, m *matrix.CSR, k formats.Kind, p int) (Result, error) {
+	return e.CharacterizeKernelWith(ctx, b, name, m, scenario.Default(), k, p)
+}
+
+// CharacterizeKernelWith is CharacterizeWith on the kernel axis: the point
+// is costed for the given kernel spec — one SpMV, an SpMM, or an
+// N-iteration solver loop with the one-time decomposition amortized (or,
+// under a measured backend, the real exec iteration loop timed as one
+// unit). The spmv spec reproduces CharacterizeWith exactly.
+func (e *Engine) CharacterizeKernelWith(ctx context.Context, b backend.Backend, name string, m *matrix.CSR, sc scenario.Spec, k formats.Kind, p int) (Result, error) {
+	if err := sc.Validate(); err != nil {
+		return Result{}, fmt.Errorf("core: %s/%v/p=%d: %w", name, k, p, err)
+	}
 	b = defaultBackend(b)
 	pl, err := e.plan(m, p)
 	if err != nil {
-		return Result{}, fmt.Errorf("core: %s/%v/p=%d: %w", name, k, p, err)
+		return Result{}, fmt.Errorf("core: %s/%s/%v/p=%d: %w", name, sc, k, p, err)
 	}
 	x := testVector(m.Cols)
-	return e.characterizeOn(ctx, b, name, pl, k, x, m.MulVec(x))
+	return e.characterizeOn(ctx, b, name, pl, sc, k, x, m.MulVec(x))
 }
 
 // SweepFormats characterizes one matrix across formats at one partition
@@ -412,10 +439,23 @@ func (e *Engine) SweepFormats(name string, m *matrix.CSR, p int, kinds []formats
 // (nil selects the analytic default). Cancellation is checked between
 // formats and inside each format's warmup.
 func (e *Engine) SweepFormatsWith(ctx context.Context, b backend.Backend, name string, m *matrix.CSR, p int, kinds []formats.Kind) ([]Result, error) {
+	return e.SweepFormatsKernelWith(ctx, b, name, m, scenario.Default(), p, kinds)
+}
+
+// SweepFormatsKernelWith is SweepFormatsWith on the kernel axis: every
+// format of the point is costed for the given kernel spec. The plan, the
+// operand vector, and the reference MulVec are shared across formats —
+// and, because the engine's plan cache keys only (matrix, p), across
+// kernels too: sweeping spmv and cg:60 over one matrix encodes each
+// format exactly once.
+func (e *Engine) SweepFormatsKernelWith(ctx context.Context, b backend.Backend, name string, m *matrix.CSR, sc scenario.Spec, p int, kinds []formats.Kind) ([]Result, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %s/p=%d: %w", name, p, err)
+	}
 	b = defaultBackend(b)
 	pl, err := e.plan(m, p)
 	if err != nil {
-		return nil, fmt.Errorf("core: %s/p=%d: %w", name, p, err)
+		return nil, fmt.Errorf("core: %s/%s/p=%d: %w", name, sc, p, err)
 	}
 	x := testVector(m.Cols)
 	ref := m.MulVec(x)
@@ -424,7 +464,7 @@ func (e *Engine) SweepFormatsWith(ctx context.Context, b backend.Backend, name s
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		r, err := e.characterizeOn(ctx, b, name, pl, k, x, ref)
+		r, err := e.characterizeOn(ctx, b, name, pl, sc, k, x, ref)
 		if err != nil {
 			return nil, err
 		}
@@ -452,8 +492,15 @@ func (e *Engine) Sweep(ws []workloads.Workload, kinds []formats.Kind, ps []int) 
 // are still shared, so the serialization costs only the dot work. It is
 // a thin collector over SweepStreamWith.
 func (e *Engine) SweepWith(ctx context.Context, b backend.Backend, ws []workloads.Workload, kinds []formats.Kind, ps []int) ([]Result, error) {
-	out := make([]Result, 0, len(ws)*len(ps)*len(kinds))
-	err := e.SweepStreamWith(ctx, b, ws, kinds, ps, func(r Result) error {
+	return e.SweepKernelsWith(ctx, b, ws, defaultSpecs, kinds, ps)
+}
+
+// SweepKernelsWith sweeps the full (workload × kernel × format × p)
+// space and collects the results in deterministic order. It is a thin
+// collector over SweepStreamKernelsWith.
+func (e *Engine) SweepKernelsWith(ctx context.Context, b backend.Backend, ws []workloads.Workload, specs []scenario.Spec, kinds []formats.Kind, ps []int) ([]Result, error) {
+	out := make([]Result, 0, len(ws)*len(specs)*len(ps)*len(kinds))
+	err := e.SweepStreamKernelsWith(ctx, b, ws, specs, kinds, ps, func(r Result) error {
 		out = append(out, r)
 		return nil
 	})
@@ -463,12 +510,18 @@ func (e *Engine) SweepWith(ctx context.Context, b backend.Backend, ws []workload
 	return out, nil
 }
 
-// SweepGroup is one completed (workload, partition size) group of a
-// streaming sweep: its results in format order, plus the group's compute
-// wall time as observed by the worker that ran it (plan warmup included
-// on a cold point — the first-group latency a streaming client sees).
+// defaultSpecs is the kernel axis every pre-kernel-axis sweep implied.
+var defaultSpecs = []scenario.Spec{scenario.Default()}
+
+// SweepGroup is one completed (workload, kernel, partition size) group of
+// a streaming sweep: its results in format order, plus the group's
+// compute wall time as observed by the worker that ran it (plan warmup
+// included on a cold point — the first-group latency a streaming client
+// sees). Kernel is the group's canonical kernel spec ("spmv" for
+// single-kernel sweeps).
 type SweepGroup struct {
 	Workload string
+	Kernel   string
 	P        int
 	Results  []Result
 	Elapsed  time.Duration
@@ -491,7 +544,15 @@ func (e *Engine) SweepStream(ctx context.Context, ws []workloads.Workload, kinds
 // SweepStreamWith is SweepStream under an explicit backend (nil selects
 // the analytic default).
 func (e *Engine) SweepStreamWith(ctx context.Context, b backend.Backend, ws []workloads.Workload, kinds []formats.Kind, ps []int, yield func(Result) error) error {
-	return e.SweepGroupsWith(ctx, b, ws, kinds, ps, func(g SweepGroup) error {
+	return e.SweepStreamKernelsWith(ctx, b, ws, defaultSpecs, kinds, ps, yield)
+}
+
+// SweepStreamKernelsWith is the emit-as-completed sweep over the full
+// kernel axis: results are delivered one at a time in the deterministic
+// workload-major, kernel-major-within-workload order of
+// SweepGroupsKernelsWith.
+func (e *Engine) SweepStreamKernelsWith(ctx context.Context, b backend.Backend, ws []workloads.Workload, specs []scenario.Spec, kinds []formats.Kind, ps []int, yield func(Result) error) error {
+	return e.SweepGroupsKernelsWith(ctx, b, ws, specs, kinds, ps, func(g SweepGroup) error {
 		for _, r := range g.Results {
 			if err := yield(r); err != nil {
 				return err
@@ -504,11 +565,28 @@ func (e *Engine) SweepStreamWith(ctx context.Context, b backend.Backend, ws []wo
 // SweepGroupsWith is the group-granular streaming sweep: yield receives
 // each completed (workload, p) group — results plus compute timing — in
 // deterministic workload-major order while later groups are still
-// computing. It is the primitive under SweepStream/Sweep and the job
-// subsystem's progress feed.
+// computing. It is the single-kernel (spmv) form of
+// SweepGroupsKernelsWith.
 func (e *Engine) SweepGroupsWith(ctx context.Context, b backend.Backend, ws []workloads.Workload, kinds []formats.Kind, ps []int, yield func(SweepGroup) error) error {
+	return e.SweepGroupsKernelsWith(ctx, b, ws, defaultSpecs, kinds, ps, yield)
+}
+
+// SweepGroupsKernelsWith is the primitive under every sweep: yield
+// receives each completed (workload, kernel, p) group — results plus
+// compute timing — in deterministic order while later groups are still
+// computing. Groups are ordered workload-major, then kernel, then
+// partition size; with specs = [spmv] the decomposition is exactly the
+// pre-kernel-axis (workload, p) grid, so single-kernel sweeps stay
+// byte-identical to their pre-PR output. It is the primitive under
+// SweepStream/Sweep and the job subsystem's progress feed.
+func (e *Engine) SweepGroupsKernelsWith(ctx context.Context, b backend.Backend, ws []workloads.Workload, specs []scenario.Spec, kinds []formats.Kind, ps []int, yield func(SweepGroup) error) error {
 	b = defaultBackend(b)
-	groups := len(ws) * len(ps)
+	for _, sc := range specs {
+		if err := sc.Validate(); err != nil {
+			return fmt.Errorf("core: sweep: %w", err)
+		}
+	}
+	groups := len(ws) * len(specs) * len(ps)
 	if groups == 0 || len(kinds) == 0 {
 		return ctx.Err()
 	}
@@ -552,12 +630,13 @@ func (e *Engine) SweepGroupsWith(ctx context.Context, b backend.Backend, ws []wo
 				if g >= groups {
 					return
 				}
-				w := ws[g/len(ps)]
+				w := ws[g/(len(specs)*len(ps))]
+				sc := specs[(g/len(ps))%len(specs)]
 				p := ps[g%len(ps)]
 				start := time.Now()
-				rs, err := e.SweepFormatsWith(ictx, b, w.ID, w.M, p, kinds)
+				rs, err := e.SweepFormatsKernelWith(ictx, b, w.ID, w.M, sc, p, kinds)
 				outs[g] = groupOut{
-					g:   SweepGroup{Workload: w.ID, P: p, Results: rs, Elapsed: time.Since(start)},
+					g:   SweepGroup{Workload: w.ID, Kernel: sc.String(), P: p, Results: rs, Elapsed: time.Since(start)},
 					err: err,
 				}
 				if err != nil {

@@ -26,7 +26,7 @@ func encodeBCSR(t *matrix.Tile, b int) *BCSREnc {
 	nb := t.P / b
 	e := &BCSREnc{p: t.P, b: b, offsets: make([]int32, nb), nnz: t.NNZ(), nzr: t.NonZeroRows()}
 	s := getScratch()
-	blockNNZ := s.ints(nb)       // per block column of the current block row
+	blockNNZ := s.ints(nb)        // per block column of the current block row
 	stage := s.floats(nb * b * b) // staged b×b blocks, zeros included
 	running := int32(0)
 	for bi := 0; bi < nb; bi++ {

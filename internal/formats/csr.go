@@ -14,14 +14,25 @@ type CSREnc struct {
 	colIdx  []int32 // len nnz
 	vals    []float64
 	nzr     int
+	// skip lists the non-empty row indices, built once at encode time so
+	// the executable kernel visits only rows with work instead of walking
+	// all p offsets per tile — on sparse tiles most rows are empty. It is
+	// derived acceleration metadata for the host kernel, not part of the
+	// format's wire layout: Footprint and Stats exclude it, and Decode
+	// reconstructs the tile from the offsets alone.
+	skip []int32
 }
 
 func encodeCSR(t *matrix.Tile) *CSREnc {
 	nnz := t.NNZ()
 	e := &CSREnc{p: t.P, offsets: make([]int32, t.P), nzr: t.NonZeroRows(),
 		colIdx: make([]int32, 0, nnz), vals: make([]float64, 0, nnz)}
+	e.skip = make([]int32, 0, e.nzr)
 	for i := 0; i < t.P; i++ {
 		cols, vals := t.RowView(i)
+		if len(vals) > 0 {
+			e.skip = append(e.skip, int32(i))
+		}
 		e.colIdx = append(e.colIdx, cols...)
 		e.vals = append(e.vals, vals...)
 		e.offsets[i] = int32(len(e.vals))

@@ -47,8 +47,32 @@ func (e *DenseEnc) SpMV(x, y []float64) {
 }
 
 // SpMV implements Encoded: the CSR kernel is the reference traversal —
-// per-row spans from the cumulative offsets, ascending columns.
+// per-row spans from the cumulative offsets, ascending columns — walked
+// through the encode-time skip list, so only non-empty rows are visited
+// (on sparse tiles the full p-row offset walk is mostly empty rows). The
+// accumulation order per row is unchanged from the full walk, so the
+// result is bit-identical to SpMVFullWalk.
 func (e *CSREnc) SpMV(x, y []float64) {
+	for _, i32 := range e.skip {
+		i := int(i32)
+		start := int32(0)
+		if i > 0 {
+			start = e.offsets[i-1]
+		}
+		end := e.offsets[i]
+		s := 0.0
+		for k := start; k < end; k++ {
+			s += e.vals[k] * x[e.colIdx[k]]
+		}
+		y[i] += s
+	}
+}
+
+// SpMVFullWalk is the pre-skip-list CSR traversal: every row's offset is
+// read, empty rows included. Kept as the reference the skip-list kernel
+// is held bit-identical to, and for the before/after comparison in the
+// bench artifact.
+func (e *CSREnc) SpMVFullWalk(x, y []float64) {
 	start := int32(0)
 	for i := 0; i < e.p; i++ {
 		end := e.offsets[i]

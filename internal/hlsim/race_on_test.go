@@ -1,0 +1,5 @@
+//go:build race
+
+package hlsim
+
+const raceEnabled = true

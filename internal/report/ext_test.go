@@ -1,6 +1,7 @@
 package report
 
 import (
+	"runtime"
 	"testing"
 
 	"copernicus/internal/formats"
@@ -178,31 +179,83 @@ func TestExt7StaticEnergyPenalizesSlowFormats(t *testing.T) {
 }
 
 // TestExt8RankAgreementShape: the model-vs-measured table has one row
-// per SuiteSparse workload, τ within [-1, 1], and best-format cells that
-// name real sparse formats. The measured values themselves are
-// nondeterministic, so only the structure is asserted.
+// per (SuiteSparse workload, kernel, thread count), τ within [-1, 1],
+// and best-format cells that name real sparse formats. The measured
+// values themselves are nondeterministic, so only the structure is
+// asserted.
 func TestExt8RankAgreementShape(t *testing.T) {
 	o := NewSmallOptions()
 	tab, err := Ext8(o)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tab.Rows) != len(o.suite("SuiteSparse")) {
-		t.Fatalf("ext8 rows = %d, want one per SuiteSparse workload", len(tab.Rows))
+	threadCounts := 1
+	if runtime.GOMAXPROCS(0) > 1 {
+		threadCounts = 2
+	}
+	kernels := 2 // spmv and cg:60
+	if want := len(o.suite("SuiteSparse")) * kernels * threadCounts; len(tab.Rows) != want {
+		t.Fatalf("ext8 rows = %d, want %d (workloads x kernels x thread counts)", len(tab.Rows), want)
 	}
 	tauC := colIndex(t, tab, "kendall_tau")
 	aC := colIndex(t, tab, "analytic_best")
 	nC := colIndex(t, tab, "native_best")
+	kC := colIndex(t, tab, "kernel")
 	sparse := map[string]bool{}
 	for _, k := range formats.Sparse() {
 		sparse[k.String()] = true
 	}
+	seenKernels := map[string]bool{}
 	for _, row := range tab.Rows {
 		if tau := parse(t, row[tauC]); tau < -1-1e-9 || tau > 1+1e-9 {
 			t.Fatalf("tau %v out of range in %v", tau, row)
 		}
 		if !sparse[row[aC]] || !sparse[row[nC]] {
 			t.Fatalf("best-format cells name unknown formats: %v", row)
+		}
+		seenKernels[row[kC]] = true
+	}
+	if !seenKernels["spmv"] || !seenKernels["cg:60"] {
+		t.Fatalf("ext8 kernels seen = %v, want spmv and cg:60", seenKernels)
+	}
+}
+
+// TestExt9FlipTableShape: the spmv-vs-cg:60 flip table has one row per
+// SuiteSparse workload, winners that name real sparse formats, a flips
+// column consistent with the two winner columns, and margins >= 1 (the
+// runner-up always costs at least the winner). Fully analytic, so the
+// table is deterministic.
+func TestExt9FlipTableShape(t *testing.T) {
+	o := NewSmallOptions()
+	tab, err := Ext9(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(o.suite("SuiteSparse")) {
+		t.Fatalf("ext9 rows = %d, want one per SuiteSparse workload", len(tab.Rows))
+	}
+	sC := colIndex(t, tab, "spmv_best")
+	cC := colIndex(t, tab, "cg60_best")
+	fC := colIndex(t, tab, "flips")
+	smC := colIndex(t, tab, "spmv_margin")
+	cmC := colIndex(t, tab, "cg60_margin")
+	sparse := map[string]bool{}
+	for _, k := range formats.Sparse() {
+		sparse[k.String()] = true
+	}
+	for _, row := range tab.Rows {
+		if !sparse[row[sC]] || !sparse[row[cC]] {
+			t.Fatalf("winner cells name unknown formats: %v", row)
+		}
+		wantFlip := "no"
+		if row[sC] != row[cC] {
+			wantFlip = "yes"
+		}
+		if row[fC] != wantFlip {
+			t.Fatalf("flips column %q inconsistent with winners in %v", row[fC], row)
+		}
+		if parse(t, row[smC]) < 1 || parse(t, row[cmC]) < 1 {
+			t.Fatalf("margin below 1 in %v", row)
 		}
 	}
 }

@@ -1,0 +1,210 @@
+// Package scenario defines the kernel axis of a characterization: which
+// sparse kernel a (workload, format, p) point is costed for, and how many
+// SpMV-shaped iterations that kernel performs. The paper's question —
+// "which format should this workload use?" — depends on the kernel: a
+// one-shot SpMV pays every format's decompression latency in full, while
+// 60 CG iterations amortize the one-time decomposition over the iteration
+// stream, which can flip the best format (ROADMAP 4(c)).
+//
+// The grammar is deliberately tiny and stable, because spec strings key
+// result caches and appear in CLI flags, HTTP parameters, NDJSON rows,
+// and report artifacts:
+//
+//	spmv         one sparse matrix-vector multiplication (the default)
+//	spmm:k       SpMM against a dense operand with k columns
+//	cg:N         N conjugate-gradient iterations (one SpMV each)
+//	jacobi:N     N Jacobi iterations (one SpMV each)
+//	pagerank:N   N power iterations (one SpMV each)
+//	bfs          level-synchronous BFS; iteration count is data-dependent
+//	             (the number of frontier levels from vertex 0)
+//
+// A Spec is pure data: how its iteration stream is *priced* (analytic
+// amortized cycles) or *measured* (the native exec iteration loop) is the
+// backend's business. The package depends only on internal/matrix (for
+// resolving BFS's data-dependent level count), so every layer — hlsim
+// excepted, which speaks plain iteration counts — can share it without
+// cycles.
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"copernicus/internal/matrix"
+)
+
+// Kernel enumerates the sweepable kernels.
+type Kernel int
+
+// Kernels of the grammar, in canonical order.
+const (
+	SpMV Kernel = iota
+	SpMM
+	CG
+	Jacobi
+	PageRank
+	BFS
+	numKernels
+)
+
+// kernelNames maps Kernel to its canonical lower-case spec name.
+var kernelNames = [numKernels]string{"spmv", "spmm", "cg", "jacobi", "pagerank", "bfs"}
+
+// String names the kernel ("spmv", "cg", ...).
+func (k Kernel) String() string {
+	if k < 0 || k >= numKernels {
+		return fmt.Sprintf("Kernel(%d)", int(k))
+	}
+	return kernelNames[k]
+}
+
+// MaxN bounds the parameter of parameterized kernels (iterations, SpMM
+// columns). Spec strings arrive from untrusted HTTP parameters and key
+// compute fan-out, so the bound is part of the grammar, not a service
+// nicety.
+const MaxN = 1 << 20
+
+// Spec is one point on the kernel axis.
+type Spec struct {
+	Kernel Kernel
+	// N is the kernel's parameter: iteration count for cg/jacobi/pagerank,
+	// dense-operand columns for spmm. It is 1 for spmv and 0 for bfs
+	// (data-dependent; see Iterations).
+	N int
+}
+
+// Default is the kernel every pre-kernel-axis API implied: one SpMV.
+func Default() Spec { return Spec{Kernel: SpMV, N: 1} }
+
+// Parse reads a spec string of the package grammar. Kernel names are
+// case-insensitive; the canonical form is lower-case. Parameterized
+// kernels require their parameter ("cg:60"), unparameterized ones reject
+// it ("spmv:2" is an error, as is "bfs:3" — BFS's iteration count is the
+// matrix's own level structure, not a request knob).
+func Parse(s string) (Spec, error) {
+	name, arg, hasArg := strings.Cut(s, ":")
+	var k Kernel = -1
+	for i, kn := range kernelNames {
+		if strings.EqualFold(name, kn) {
+			k = Kernel(i)
+			break
+		}
+	}
+	if k < 0 {
+		return Spec{}, fmt.Errorf(`scenario: unknown kernel %q (want spmv, spmm:k, cg:N, jacobi:N, pagerank:N, or bfs)`, s)
+	}
+	switch k {
+	case SpMV, BFS:
+		if hasArg {
+			return Spec{}, fmt.Errorf("scenario: kernel %q takes no parameter (got %q)", k, s)
+		}
+		if k == SpMV {
+			return Spec{Kernel: SpMV, N: 1}, nil
+		}
+		return Spec{Kernel: BFS}, nil
+	default:
+		if !hasArg {
+			return Spec{}, fmt.Errorf("scenario: kernel %q needs a parameter (%s:N)", k, k)
+		}
+		n, err := strconv.Atoi(arg)
+		if err != nil || n < 1 || n > MaxN {
+			return Spec{}, fmt.Errorf("scenario: bad %s parameter %q (want an integer in [1, %d])", k, arg, MaxN)
+		}
+		return Spec{Kernel: k, N: n}, nil
+	}
+}
+
+// MustParse is Parse for compile-time-constant specs in tests and
+// benchmarks; it panics on error.
+func MustParse(s string) Spec {
+	sc, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return sc
+}
+
+// String renders the canonical spec form — the exact token that keys
+// caches and appears on wires: "spmv", "spmm:8", "cg:60", "bfs".
+func (s Spec) String() string {
+	switch s.Kernel {
+	case SpMV, BFS:
+		return s.Kernel.String()
+	default:
+		return s.Kernel.String() + ":" + strconv.Itoa(s.N)
+	}
+}
+
+// Validate reports whether the spec could have come from Parse.
+func (s Spec) Validate() error {
+	switch s.Kernel {
+	case SpMV:
+		if s.N != 1 {
+			return fmt.Errorf("scenario: spmv with N=%d (want 1)", s.N)
+		}
+	case BFS:
+		if s.N != 0 {
+			return fmt.Errorf("scenario: bfs with N=%d (want 0: data-dependent)", s.N)
+		}
+	case SpMM, CG, Jacobi, PageRank:
+		if s.N < 1 || s.N > MaxN {
+			return fmt.Errorf("scenario: %s with N=%d outside [1, %d]", s.Kernel, s.N, MaxN)
+		}
+	default:
+		return fmt.Errorf("scenario: unknown kernel %d", int(s.Kernel))
+	}
+	return nil
+}
+
+// Iterations resolves the spec to its concrete SpMV-shaped iteration
+// count on matrix m: how many passes over the encoded operand the kernel
+// streams. Fixed-count kernels ignore m; BFS resolves its data-dependent
+// level count (a level-synchronous BFS performs one masked SpMV per
+// frontier level), so the result is a property of the matrix's structure
+// — deterministic, O(rows + nnz), and computed outside any timed region.
+// SpMM resolves to its column count: the exec path multiplies the dense
+// operand column by column, one traversal per column.
+func (s Spec) Iterations(m *matrix.CSR) int {
+	if s.Kernel == BFS {
+		return BFSLevels(m)
+	}
+	if s.N < 1 {
+		return 1
+	}
+	return s.N
+}
+
+// BFSLevels counts the frontier levels of a breadth-first traversal from
+// vertex 0, treating m as a directed adjacency structure (an edge per
+// stored non-zero). Unreached vertices do not extend the count; an empty
+// or edgeless matrix resolves to 1 so a BFS spec never collapses to a
+// zero-iteration kernel.
+func BFSLevels(m *matrix.CSR) int {
+	if m == nil || m.Rows == 0 {
+		return 1
+	}
+	visited := make([]bool, m.Rows)
+	frontier := []int{0}
+	visited[0] = true
+	levels := 0
+	var next []int
+	for len(frontier) > 0 {
+		levels++
+		next = next[:0]
+		for _, u := range frontier {
+			for k := m.RowPtr[u]; k < m.RowPtr[u+1]; k++ {
+				v := m.Col[k]
+				if v < m.Rows && !visited[v] {
+					visited[v] = true
+					next = append(next, v)
+				}
+			}
+		}
+		frontier, next = next, frontier
+	}
+	if levels < 1 {
+		return 1
+	}
+	return levels
+}

@@ -1,0 +1,147 @@
+package scenario
+
+import (
+	"testing"
+
+	"copernicus/internal/gen"
+	"copernicus/internal/matrix"
+)
+
+// TestParseCanonicalRoundTrip: every canonical spec string parses to a
+// valid Spec whose String() is the input again — the property the cache
+// keys and wire forms rely on.
+func TestParseCanonicalRoundTrip(t *testing.T) {
+	for _, s := range []string{"spmv", "spmm:8", "cg:60", "jacobi:100", "pagerank:20", "bfs", "cg:1", "spmm:1048576"} {
+		sc, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("Parse(%q) produced invalid spec: %v", s, err)
+		}
+		if got := sc.String(); got != s {
+			t.Fatalf("Parse(%q).String() = %q", s, got)
+		}
+	}
+}
+
+// TestParseCaseInsensitiveNamesCanonicalOutput: names parse
+// case-insensitively but String always renders the canonical lower-case
+// form — two spellings of one kernel must share a cache entry.
+func TestParseCaseInsensitiveNamesCanonicalOutput(t *testing.T) {
+	for in, want := range map[string]string{"SPMV": "spmv", "Cg:60": "cg:60", "BFS": "bfs", "SpMM:4": "spmm:4"} {
+		sc, err := Parse(in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", in, err)
+		}
+		if got := sc.String(); got != want {
+			t.Fatalf("Parse(%q).String() = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestParseRejectsBadSpecs: the grammar's error cases — unknown kernels,
+// missing/forbidden parameters, and out-of-range parameters.
+func TestParseRejectsBadSpecs(t *testing.T) {
+	for _, s := range []string{
+		"", "gemm", "cg", "jacobi", "pagerank", "spmm", // missing parameter
+		"spmv:2", "bfs:3", // parameter where none is allowed
+		"cg:0", "cg:-1", "cg:x", "cg:1048577", "spmm:0", // out of range / non-integer
+		"cg:60:1", // trailing junk
+	} {
+		if _, err := Parse(s); err == nil {
+			t.Fatalf("Parse(%q) succeeded, want error", s)
+		}
+	}
+}
+
+// TestDefaultIsOneSpMV: the default spec is the pre-kernel-axis implied
+// kernel — one SpMV, canonical string "spmv", one iteration on any
+// matrix.
+func TestDefaultIsOneSpMV(t *testing.T) {
+	d := Default()
+	if d.Kernel != SpMV || d.N != 1 || d.String() != "spmv" {
+		t.Fatalf("Default() = %+v (%q)", d, d)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if it := d.Iterations(gen.Random(32, 0.1, 1)); it != 1 {
+		t.Fatalf("Default().Iterations = %d", it)
+	}
+}
+
+// TestIterationsFixedKernels: parameterized kernels resolve to their
+// parameter regardless of the matrix.
+func TestIterationsFixedKernels(t *testing.T) {
+	m := gen.Random(64, 0.05, 2)
+	for spec, want := range map[string]int{"cg:60": 60, "jacobi:7": 7, "pagerank:20": 20, "spmm:8": 8, "spmv": 1} {
+		if got := MustParse(spec).Iterations(m); got != want {
+			t.Fatalf("%s.Iterations = %d, want %d", spec, got, want)
+		}
+	}
+}
+
+// TestBFSLevelsChain: a directed chain 0→1→…→n-1 has exactly n frontier
+// levels (vertex 0 is level one), the fully deterministic case.
+func TestBFSLevelsChain(t *testing.T) {
+	const n = 9
+	b := matrix.NewBuilder(n, n)
+	for i := 0; i < n-1; i++ {
+		b.Add(i, i+1, 1)
+	}
+	m := b.Build()
+	if got := BFSLevels(m); got != n {
+		t.Fatalf("BFSLevels(chain %d) = %d, want %d", n, got, n)
+	}
+	if got := MustParse("bfs").Iterations(m); got != n {
+		t.Fatalf("bfs.Iterations(chain %d) = %d, want %d", n, got, n)
+	}
+}
+
+// TestBFSLevelsDegenerate: empty and edgeless matrices resolve to 1 —
+// a BFS spec never collapses to a zero-iteration kernel.
+func TestBFSLevelsDegenerate(t *testing.T) {
+	if got := BFSLevels(nil); got != 1 {
+		t.Fatalf("BFSLevels(nil) = %d", got)
+	}
+	if got := BFSLevels(matrix.NewBuilder(5, 5).Build()); got != 1 {
+		t.Fatalf("BFSLevels(edgeless) = %d", got)
+	}
+	// Disconnected vertices don't extend the count: an isolated self-loop
+	// at vertex 3 is unreachable from 0.
+	b := matrix.NewBuilder(4, 4)
+	b.Add(0, 1, 1)
+	b.Add(3, 3, 1)
+	if got := BFSLevels(b.Build()); got != 2 {
+		t.Fatalf("BFSLevels(0->1 plus isolated 3) = %d, want 2", got)
+	}
+}
+
+// TestValidateRejectsHandBuiltBadSpecs: Validate catches specs that
+// could not have come from Parse.
+func TestValidateRejectsHandBuiltBadSpecs(t *testing.T) {
+	for _, sc := range []Spec{
+		{Kernel: SpMV, N: 2},
+		{Kernel: BFS, N: 1},
+		{Kernel: CG, N: 0},
+		{Kernel: CG, N: MaxN + 1},
+		{Kernel: Kernel(99), N: 1},
+		{Kernel: -1, N: 1},
+	} {
+		if err := sc.Validate(); err == nil {
+			t.Fatalf("Validate(%+v) succeeded, want error", sc)
+		}
+	}
+}
+
+// TestMustParsePanics: MustParse panics on a bad spec instead of
+// returning a zero value that would silently mean spmv.
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse(bad) did not panic")
+		}
+	}()
+	MustParse("cg")
+}

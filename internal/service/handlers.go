@@ -18,6 +18,7 @@ import (
 	"copernicus/internal/hlsim"
 	"copernicus/internal/matrix"
 	"copernicus/internal/mtx"
+	"copernicus/internal/scenario"
 	"copernicus/internal/workloads"
 )
 
@@ -28,6 +29,12 @@ const (
 	maxRequestFormats    = 16
 	maxRequestPartitions = 8
 	maxPartitionSize     = 1024
+	// maxKernelIters caps a kernel spec's iteration/column parameter:
+	// every iteration is a full pass over the encoded operand, so the
+	// parameter multiplies compute fan-out the way the format and
+	// partition lists do (scenario.MaxN is a grammar bound, not an
+	// admission policy).
+	maxKernelIters = 4096
 )
 
 // resultJSON is the wire form of one characterization point. Backend
@@ -38,6 +45,8 @@ type resultJSON struct {
 	Workload          string  `json:"workload"`
 	Format            string  `json:"format"`
 	P                 int     `json:"p"`
+	Kernel            string  `json:"kernel"`
+	Iterations        int     `json:"iterations"`
 	Backend           string  `json:"backend"`
 	Measured          bool    `json:"measured"`
 	MeasuredRuns      int     `json:"measured_runs,omitempty"`
@@ -69,6 +78,8 @@ func toResultJSON(r core.Result) resultJSON {
 		Workload:          r.Workload,
 		Format:            r.Format.String(),
 		P:                 r.P,
+		Kernel:            r.Kernel,
+		Iterations:        r.Iterations,
 		Backend:           r.Backend,
 		Measured:          r.Measured,
 		MeasuredRuns:      r.MeasuredRuns,
@@ -171,19 +182,41 @@ func parsePartitions(ps []int) ([]int, error) {
 	return ps, nil
 }
 
+// parseKernel resolves the kernel spec parameter of a request; empty
+// defaults to spmv, the pre-kernel-axis behavior of every endpoint. The
+// grammar (and its bound) is scenario.Parse's; the service additionally
+// caps the iteration/column parameter, since it multiplies compute
+// fan-out like the format and partition lists do.
+func parseKernel(raw string) (scenario.Spec, error) {
+	if raw == "" {
+		return scenario.Default(), nil
+	}
+	sc, err := scenario.Parse(raw)
+	if err != nil {
+		return scenario.Spec{}, err
+	}
+	if sc.N > maxKernelIters {
+		return scenario.Spec{}, fmt.Errorf("kernel %q parameter exceeds %d", raw, maxKernelIters)
+	}
+	return sc, nil
+}
+
 // sweepKey names one cached sweep: the matrix ID leads (so deletion can
-// invalidate by prefix), then the backend ID, then the format and
-// partition lists in request order. The backend is part of the key
-// because the stored results carry its costing — analytic and native
-// sweeps of one point are distinct cache entries that never
+// invalidate by prefix), then the backend ID, then the kernel spec, then
+// the format and partition lists in request order. The backend is part of
+// the key because the stored results carry its costing — analytic and
+// native sweeps of one point are distinct cache entries that never
 // cross-contaminate — while the engine plan cache below stays shared, so
 // a second backend on a warm point pays no re-partition or re-encode.
 // A native backend additionally keys its effective thread count, since
 // the measured seconds depend on the SpMV fan-out — one- and
-// eight-thread measurements of a point must never share an entry.
-// Format/partition order is part of the key because the stored results
-// mirror it — [CSR,ELL] and [ELL,CSR] cache separately.
-func sweepKey(matrixID string, b backend.Backend, kinds []formats.Kind, ps []int) string {
+// eight-thread measurements of a point must never share an entry. The
+// kernel spec is always present (spmv included), since the stored Seconds
+// is the kernel's amortized/measured cost — a cg:60 entry must never
+// answer an spmv request. Format/partition order is part of the key
+// because the stored results mirror it — [CSR,ELL] and [ELL,CSR] cache
+// separately.
+func sweepKey(matrixID string, b backend.Backend, sc scenario.Spec, kinds []formats.Kind, ps []int) string {
 	var sb strings.Builder
 	sb.WriteString(matrixID)
 	sb.WriteString("|b=")
@@ -192,6 +225,8 @@ func sweepKey(matrixID string, b backend.Backend, kinds []formats.Kind, ps []int
 		sb.WriteString("|t=")
 		sb.WriteString(strconv.Itoa(max(nb.Threads, 1)))
 	}
+	sb.WriteString("|k=")
+	sb.WriteString(sc.String())
 	sb.WriteString("|f=")
 	for i, k := range kinds {
 		if i > 0 {
@@ -262,10 +297,10 @@ var errMatrixDeleted = errors.New("matrix deleted")
 // re-inserted the plans), so registration is re-checked before results
 // are considered valid; a deleted matrix is never re-pinned by the
 // engine (and errors are never cached).
-func (s *Server) computeSweep(ctx context.Context, info MatrixInfo, m *matrix.CSR, b backend.Backend, kinds []formats.Kind, ps []int, onRow func(core.Result)) ([]core.Result, error) {
+func (s *Server) computeSweep(ctx context.Context, info MatrixInfo, m *matrix.CSR, b backend.Backend, sc scenario.Spec, kinds []formats.Kind, ps []int, onRow func(core.Result)) ([]core.Result, error) {
 	ws := []workloads.Workload{{ID: info.ID, M: m}}
 	out := make([]core.Result, 0, len(kinds)*len(ps))
-	err := s.engine.SweepStreamWith(ctx, b, ws, kinds, ps, func(r core.Result) error {
+	err := s.engine.SweepStreamKernelsWith(ctx, b, ws, []scenario.Spec{sc}, kinds, ps, func(r core.Result) error {
 		out = append(out, r)
 		if onRow != nil {
 			onRow(r)
@@ -310,13 +345,13 @@ func (s *Server) sweepEpilogue(info MatrixInfo, m *matrix.CSR) error {
 // *leader's* compute produces it — the streaming path's incremental
 // feed. A caller that attached to another leader's flight (or hit the
 // cache) gets cached=true and must replay the returned slab itself.
-func (s *Server) runSweep(ctx context.Context, info MatrixInfo, b backend.Backend, kinds []formats.Kind, ps []int, onRow func(core.Result)) ([]core.Result, bool, error) {
+func (s *Server) runSweep(ctx context.Context, info MatrixInfo, b backend.Backend, sc scenario.Spec, kinds []formats.Kind, ps []int, onRow func(core.Result)) ([]core.Result, bool, error) {
 	_, m, ok := s.reg.Lookup(info.ID)
 	if !ok {
 		return nil, false, fmt.Errorf("matrix %q: %w", info.ID, errMatrixDeleted)
 	}
-	v, cached, err := s.cache.Do(ctx, sweepKey(info.ID, b, kinds, ps), func(fctx context.Context) (any, error) {
-		return s.computeSweep(fctx, info, m, b, kinds, ps, onRow)
+	v, cached, err := s.cache.Do(ctx, sweepKey(info.ID, b, sc, kinds, ps), func(fctx context.Context) (any, error) {
+		return s.computeSweep(fctx, info, m, b, sc, kinds, ps, onRow)
 	})
 	s.noteBackend(b.ID(), cached && err == nil)
 	if err != nil {
@@ -426,13 +461,16 @@ func (s *Server) handleDeleteMatrix(w http.ResponseWriter, r *http.Request) {
 // sweepRequest is the POST /v1/sweep body. Backend selects the costing
 // backend ("analytic" cycle model by default, "native" for measured
 // host-CPU wall time); Threads sets the native SpMV fan-out
-// (native-only, 1..GOMAXPROCS, default 1).
+// (native-only, 1..GOMAXPROCS, default 1); Kernel selects the kernel
+// spec the points are costed for ("spmv" by default; "cg:60", "spmm:8",
+// ... — see internal/scenario).
 type sweepRequest struct {
 	Matrix     string   `json:"matrix"`
 	Formats    []string `json:"formats,omitempty"`
 	Partitions []int    `json:"partitions,omitempty"`
 	Backend    string   `json:"backend,omitempty"`
 	Threads    int      `json:"threads,omitempty"`
+	Kernel     string   `json:"kernel,omitempty"`
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -447,12 +485,13 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "missing \"matrix\"")
 		return
 	}
-	s.serveSweep(w, r, req.Matrix, req.Formats, req.Partitions, req.Backend, req.Threads)
+	s.serveSweep(w, r, req.Matrix, req.Formats, req.Partitions, req.Backend, req.Threads, req.Kernel)
 }
 
 // handleSweepGet is the query-parameter form of /v1/sweep:
 // GET /v1/sweep?matrix=ID&formats=CSR,COO&partitions=8,16&backend=native
-// (&threads=N for the native SpMV fan-out).
+// (&threads=N for the native SpMV fan-out, &kernel=cg:60 for the kernel
+// spec).
 // It feeds the same serveSweep tail as the POST form — identical
 // validation, canonical cache key, and response shape, so the two forms
 // share entries and cannot drift apart.
@@ -480,15 +519,15 @@ func (s *Server) handleSweepGet(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	s.serveSweep(w, r, q.Get("matrix"), names, ps, q.Get("backend"), threads)
+	s.serveSweep(w, r, q.Get("matrix"), names, ps, q.Get("backend"), threads, q.Get("kernel"))
 }
 
 // serveSweep is the shared tail of both /v1/sweep forms: validate the
-// matrix, format, partition, and backend selections, then answer either
-// as one JSON slab (the default) or, when the request prefers
+// matrix, format, partition, backend, and kernel selections, then answer
+// either as one JSON slab (the default) or, when the request prefers
 // application/x-ndjson, as a row-per-line stream flushed as each
-// (workload, p) group completes.
-func (s *Server) serveSweep(w http.ResponseWriter, r *http.Request, matrixID string, names []string, partitions []int, backendName string, threads int) {
+// (workload, kernel, p) group completes.
+func (s *Server) serveSweep(w http.ResponseWriter, r *http.Request, matrixID string, names []string, partitions []int, backendName string, threads int, kernel string) {
 	info, _, ok := s.reg.Lookup(matrixID)
 	if !ok {
 		writeErr(w, http.StatusNotFound, "unknown matrix %q", matrixID)
@@ -509,13 +548,18 @@ func (s *Server) serveSweep(w http.ResponseWriter, r *http.Request, matrixID str
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	sc, err := parseKernel(kernel)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	ctx, cancel := s.reqCtx(r)
 	defer cancel()
 	if wantsNDJSON(r) {
-		s.streamSweep(ctx, w, info, b, kinds, ps)
+		s.streamSweep(ctx, w, info, b, sc, kinds, ps)
 		return
 	}
-	rs, cached, err := s.runSweep(ctx, info, b, kinds, ps, nil)
+	rs, cached, err := s.runSweep(ctx, info, b, sc, kinds, ps, nil)
 	if err != nil {
 		writeErr(w, sweepStatus(err), "sweep: %v", err)
 		return
@@ -546,7 +590,7 @@ func wantsNDJSON(r *http.Request) bool {
 // it are still a valid prefix of the batch result set; a failure before
 // any row was written is reported with a proper HTTP status instead,
 // exactly like the batch form.
-func (s *Server) streamSweep(ctx context.Context, w http.ResponseWriter, info MatrixInfo, b backend.Backend, kinds []formats.Kind, ps []int) {
+func (s *Server) streamSweep(ctx context.Context, w http.ResponseWriter, info MatrixInfo, b backend.Backend, sc scenario.Spec, kinds []formats.Kind, ps []int) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
@@ -569,7 +613,7 @@ func (s *Server) streamSweep(ctx context.Context, w http.ResponseWriter, info Ma
 		}
 	}
 
-	key := sweepKey(info.ID, b, kinds, ps)
+	key := sweepKey(info.ID, b, sc, kinds, ps)
 	if v, ok := s.cache.Get(key); ok {
 		s.noteBackend(b.ID(), true)
 		for _, r := range v.([]core.Result) {
@@ -578,7 +622,7 @@ func (s *Server) streamSweep(ctx context.Context, w http.ResponseWriter, info Ma
 		return
 	}
 
-	rs, cached, err := s.runSweep(ctx, info, b, kinds, ps, emit)
+	rs, cached, err := s.runSweep(ctx, info, b, sc, kinds, ps, emit)
 	if err != nil {
 		if emitted == 0 {
 			// Nothing on the wire yet: a real status line (404/400/503)
@@ -601,7 +645,8 @@ func (s *Server) streamSweep(ctx context.Context, w http.ResponseWriter, info Ma
 
 // handleCharacterize runs one (matrix, format, p) point:
 // GET /v1/characterize?matrix=ID&format=CSR&p=16&backend=analytic|native
-// (&threads=N for the native SpMV fan-out).
+// (&threads=N for the native SpMV fan-out, &kernel=cg:60 for the kernel
+// spec).
 func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	info, _, ok := s.reg.Lookup(q.Get("matrix"))
@@ -638,9 +683,14 @@ func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	sc, err := parseKernel(q.Get("kernel"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	ctx, cancel := s.reqCtx(r)
 	defer cancel()
-	rs, cached, err := s.runSweep(ctx, info, b, kinds, ps, nil)
+	rs, cached, err := s.runSweep(ctx, info, b, sc, kinds, ps, nil)
 	if err != nil {
 		writeErr(w, sweepStatus(err), "characterize: %v", err)
 		return
@@ -655,10 +705,11 @@ func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 // handleAdvise recommends the best format for a (matrix, p) point:
 // GET /v1/advise?matrix=ID&p=16&objective=balanced|latency&backend=
 // analytic|native (native ranks by measured host wall time, with
-// &threads=N selecting its SpMV fan-out). The sweep
+// &threads=N selecting its SpMV fan-out; &kernel=cg:60 ranks by the
+// kernel's amortized/measured cost instead of one SpMV). The sweep
 // behind it flows through the same cache as /v1/sweep — a prior sweep of
-// the sparse formats at the same p makes the advice free, and concurrent
-// advise calls share one engine run.
+// the sparse formats at the same (kernel, p) makes the advice free, and
+// concurrent advise calls share one engine run.
 func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	info, m, ok := s.reg.Lookup(q.Get("matrix"))
@@ -697,9 +748,14 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	sc, err := parseKernel(q.Get("kernel"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	ctx, cancel := s.reqCtx(r)
 	defer cancel()
-	rs, cached, err := s.runSweep(ctx, info, b, formats.Sparse(), ps, nil)
+	rs, cached, err := s.runSweep(ctx, info, b, sc, formats.Sparse(), ps, nil)
 	if err != nil {
 		writeErr(w, sweepStatus(err), "advise: %v", err)
 		return
@@ -719,6 +775,7 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 		"matrix":        info,
 		"p":             p,
 		"backend":       b.ID(),
+		"kernel":        sc.String(),
 		"cached":        cached,
 		"format":        rec.Format.String(),
 		"reason":        rec.Reason,

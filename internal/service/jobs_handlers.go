@@ -12,6 +12,7 @@ import (
 	"copernicus/internal/formats"
 	"copernicus/internal/jobs"
 	"copernicus/internal/matrix"
+	"copernicus/internal/scenario"
 	"copernicus/internal/workloads"
 )
 
@@ -50,10 +51,15 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	sc, err := parseKernel(req.Kernel)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 
-	key := sweepKey(info.ID, b, kinds, ps)
+	key := sweepKey(info.ID, b, sc, kinds, ps)
 	total := len(kinds) * len(ps)
-	task := s.sweepTask(info, m, b, kinds, ps, key)
+	task := s.sweepTask(info, m, b, sc, kinds, ps, key)
 	ji, err := s.jobs.Submit(fmt.Sprintf("sweep %s (%s)", info.ID, b.ID()), total, task)
 	switch {
 	case errors.Is(err, jobs.ErrQueueFull):
@@ -75,11 +81,11 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 // (the in-flight re-check lives in computeSweep-equivalent code here
 // because the job needs group granularity for timings; the post-insert
 // half is the shared sweepEpilogue).
-func (s *Server) sweepTask(info MatrixInfo, m *matrix.CSR, b backend.Backend, kinds []formats.Kind, ps []int, key string) jobs.Task {
+func (s *Server) sweepTask(info MatrixInfo, m *matrix.CSR, b backend.Backend, sc scenario.Spec, kinds []formats.Kind, ps []int, key string) jobs.Task {
 	return func(ctx context.Context, report func(int, jobs.GroupTiming)) (any, error) {
 		ws := []workloads.Workload{{ID: info.ID, M: m}}
 		collected := make([]core.Result, 0, len(kinds)*len(ps))
-		err := s.engine.SweepGroupsWith(ctx, b, ws, kinds, ps, func(g core.SweepGroup) error {
+		err := s.engine.SweepGroupsKernelsWith(ctx, b, ws, []scenario.Spec{sc}, kinds, ps, func(g core.SweepGroup) error {
 			collected = append(collected, g.Results...)
 			report(len(g.Results), jobs.GroupTiming{
 				Workload: g.Workload,

@@ -1,0 +1,121 @@
+package service
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestSweepKernelIsolation is the kernel-axis cache guarantee: the same
+// (matrix, backend, formats, partitions) point under two kernel specs
+// creates two distinct cache entries; an explicit kernel=spmv shares the
+// no-parameter default's entry (the canonical spec, not the raw request
+// string, keys the cache).
+func TestSweepKernelIsolation(t *testing.T) {
+	_, ts := newTestServer(t)
+	sweep := func(q string) (bool, []any) {
+		code, out := doJSON(t, "GET", ts.URL+"/v1/sweep?matrix=2C&formats=CSR,COO&partitions=8"+q, nil)
+		if code != http.StatusOK {
+			t.Fatalf("sweep %q: %d %v", q, code, out)
+		}
+		return out["cached"].(bool), out["results"].([]any)
+	}
+
+	cached, spmvRes := sweep("")
+	if cached {
+		t.Fatal("first sweep reported cached")
+	}
+	for _, raw := range spmvRes {
+		r := raw.(map[string]any)
+		if r["kernel"] != "spmv" || r["iterations"].(float64) != 1 {
+			t.Fatalf("default sweep row kernel columns = (%v, %v), want (spmv, 1)", r["kernel"], r["iterations"])
+		}
+	}
+	// Explicit spmv is the same point — it must HIT the default's entry.
+	if cached, _ := sweep("&kernel=spmv"); !cached {
+		t.Fatal("kernel=spmv missed the default-kernel entry (key drift)")
+	}
+	// cg:60 is a different point — it must MISS and carry its own rows.
+	cached, cgRes := sweep("&kernel=cg:60")
+	if cached {
+		t.Fatal("cg:60 sweep served from the spmv entry — kernels cross-contaminated")
+	}
+	if _, cache := getStats(t, ts.URL); int(cache["entries"].(float64)) != 2 {
+		t.Fatalf("cache entries = %v, want 2 (one per kernel)", cache["entries"])
+	}
+	if cached, _ := sweep("&kernel=cg:60"); !cached {
+		t.Fatal("repeat cg:60 sweep missed its own entry")
+	}
+
+	// The cg rows record the kernel and cost more than their spmv rows,
+	// but amortization keeps them under 60x.
+	for i, raw := range cgRes {
+		cg := raw.(map[string]any)
+		sp := spmvRes[i].(map[string]any)
+		if cg["kernel"] != "cg:60" || cg["iterations"].(float64) != 60 {
+			t.Fatalf("cg row %d kernel columns = (%v, %v)", i, cg["kernel"], cg["iterations"])
+		}
+		if cg["format"] != sp["format"] {
+			t.Fatalf("row %d pairs %v with %v", i, sp["format"], cg["format"])
+		}
+		cgS, spS := cg["seconds"].(float64), sp["seconds"].(float64)
+		if cgS <= spS || cgS > 60*spS {
+			t.Fatalf("%v: cg:60 %v s vs spmv %v s, want within (1, 60] x", cg["format"], cgS, spS)
+		}
+	}
+
+	// A spec outside the grammar is the client's 400.
+	for _, bad := range []string{"gemm", "cg", "cg:0", "spmv:2"} {
+		code, _ := doJSON(t, "GET", ts.URL+"/v1/sweep?matrix=2C&formats=CSR&partitions=8&kernel="+bad, nil)
+		if code != http.StatusBadRequest {
+			t.Fatalf("kernel=%s: %d, want 400", bad, code)
+		}
+	}
+}
+
+// TestKernelParamOnCharacterizeAdviseAndJobs: the kernel parameter is
+// honored on the single-point and advisory endpoints, in POST sweep
+// bodies, and in async job submissions — and the job shares the
+// synchronous path's cache entry for the same spec.
+func TestKernelParamOnCharacterizeAdviseAndJobs(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	code, out := doJSON(t, "GET", ts.URL+"/v1/characterize?matrix=2C&format=CSR&p=8&kernel=cg:60", nil)
+	if code != http.StatusOK {
+		t.Fatalf("characterize: %d %v", code, out)
+	}
+	if r := out["result"].(map[string]any); r["kernel"] != "cg:60" || r["iterations"].(float64) != 60 {
+		t.Fatalf("characterize kernel columns: %v, %v", r["kernel"], r["iterations"])
+	}
+
+	code, out = doJSON(t, "GET", ts.URL+"/v1/advise?matrix=2C&p=8&kernel=cg:60", nil)
+	if code != http.StatusOK {
+		t.Fatalf("advise: %d %v", code, out)
+	}
+	if out["kernel"] != "cg:60" {
+		t.Fatalf("advise echoed kernel %v", out["kernel"])
+	}
+	if code, _ := doJSON(t, "GET", ts.URL+"/v1/advise?matrix=2C&p=8&kernel=bogus", nil); code != http.StatusBadRequest {
+		t.Fatal("advise accepted a bad kernel spec")
+	}
+
+	// POST body form.
+	body := `{"matrix":"2C","formats":["CSR"],"partitions":[8],"kernel":"jacobi:5"}`
+	code, out = doJSON(t, "POST", ts.URL+"/v1/sweep", strings.NewReader(body))
+	if code != http.StatusOK || out["cached"].(bool) {
+		t.Fatalf("POST jacobi:5: %d cached=%v", code, out["cached"])
+	}
+	if r := out["results"].([]any)[0].(map[string]any); r["kernel"] != "jacobi:5" || r["iterations"].(float64) != 5 {
+		t.Fatalf("POST jacobi:5 row: %v, %v", r["kernel"], r["iterations"])
+	}
+
+	// Async job for the same spec hits the synchronous entry.
+	jb := `{"matrix":"2C","formats":["CSR"],"partitions":[8],"kernel":"jacobi:5"}`
+	code, out = doJSON(t, "POST", ts.URL+"/v1/jobs/sweep", strings.NewReader(jb))
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("job submit: %d %v", code, out)
+	}
+	if code, _ := doJSON(t, "POST", ts.URL+"/v1/jobs/sweep", strings.NewReader(`{"matrix":"2C","kernel":"nope"}`)); code != http.StatusBadRequest {
+		t.Fatal("job submit accepted a bad kernel spec")
+	}
+}
