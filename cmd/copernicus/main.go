@@ -84,6 +84,11 @@ func run(args []string) error {
 	addr := fs.String("addr", "localhost:8459", "listen address (serve)")
 	workers := fs.Int("workers", 0, "sweep worker-pool size, 0 = GOMAXPROCS (serve)")
 	cacheEntries := fs.Int("cache", 256, "sweep result cache entries (serve)")
+	readTimeout := fs.Duration("read-timeout", 0, "serve: max time to read a request, 0 = 30s default, negative = unlimited")
+	writeTimeout := fs.Duration("write-timeout", 0, "serve: max time to write a response, 0 = unlimited (NDJSON/SSE streams must not be cut)")
+	idleTimeout := fs.Duration("idle-timeout", 0, "serve: keep-alive idle limit, 0 = 120s default, negative = unlimited")
+	maxHeaderBytes := fs.Int("max-header-bytes", 0, "serve: request header size limit, 0 = 1 MiB default")
+	requestTimeout := fs.Duration("request-timeout", 0, "serve: per-request compute deadline cap, 0 = 60s default, negative = disabled")
 	timeout := fs.Duration("timeout", 0, "abort sweep/advise/bench after this long (0 = no limit)")
 	if err := fs.Parse(rest); err != nil {
 		return err
@@ -165,7 +170,17 @@ func run(args []string) error {
 	case "bench":
 		return notePartial(benchCmd(ctx, *scale, *iters, *jsonOut, *out, *backendID, *threads))
 	case "serve":
-		return serve(*addr, *scale, *workers, *cacheEntries)
+		return serve(serveConfig{
+			addr:           *addr,
+			scale:          *scale,
+			workers:        *workers,
+			cacheEntries:   *cacheEntries,
+			readTimeout:    *readTimeout,
+			writeTimeout:   *writeTimeout,
+			idleTimeout:    *idleTimeout,
+			maxHeaderBytes: *maxHeaderBytes,
+			requestTimeout: *requestTimeout,
+		})
 	case "workloads":
 		return describeWorkloads(*scale)
 	case "help", "-h", "--help":

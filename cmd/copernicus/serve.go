@@ -14,6 +14,80 @@ import (
 	"copernicus/internal/service"
 )
 
+// serveConfig collects the serve subcommand's tunables: the service
+// sizing knobs plus the http.Server hardening limits. Zero values take
+// the documented defaults via withDefaults.
+type serveConfig struct {
+	addr         string
+	scale        int
+	workers      int
+	cacheEntries int
+
+	// readTimeout bounds reading an entire request (headers + body);
+	// it is the defense against slow-write clients holding connections
+	// through a large matrix upload (default 30s).
+	readTimeout time.Duration
+	// writeTimeout bounds writing a response. The default is 0 —
+	// deliberately unlimited — because the NDJSON sweep stream and the
+	// job SSE stream are long-lived responses whose duration is set by
+	// compute and client pacing, not a fixed budget; cutting them at a
+	// wall-clock limit would break exactly the streaming paths the
+	// service exists for. Slow synchronous compute is bounded instead
+	// by the service's per-request deadline cap (requestTimeout).
+	writeTimeout time.Duration
+	// idleTimeout bounds how long a kept-alive connection may sit idle
+	// between requests (default 120s).
+	idleTimeout time.Duration
+	// maxHeaderBytes bounds request header size (default 1 MiB).
+	maxHeaderBytes int
+	// requestTimeout is passed through to the service's per-request
+	// compute deadline cap: 0 keeps the service default (60s),
+	// negative disables the cap. SSE job streams are never capped.
+	requestTimeout time.Duration
+}
+
+func (c serveConfig) withDefaults() serveConfig {
+	if c.readTimeout == 0 {
+		c.readTimeout = 30 * time.Second
+	}
+	if c.idleTimeout == 0 {
+		c.idleTimeout = 120 * time.Second
+	}
+	if c.maxHeaderBytes == 0 {
+		c.maxHeaderBytes = 1 << 20
+	}
+	return c
+}
+
+// buildServe constructs the service and the hardened http.Server
+// without listening — the testable core of serve. Negative timeout
+// values disable the corresponding limit (net/http treats <= 0 as no
+// limit; the service interprets a negative requestTimeout the same
+// way).
+func buildServe(c serveConfig) (*service.Server, *http.Server) {
+	c = c.withDefaults()
+	e := copernicus.NewEngine()
+	if c.workers > 0 {
+		e.SetWorkers(c.workers)
+	}
+	svc := service.New(service.Options{
+		Engine:         e,
+		Scale:          c.scale,
+		CacheEntries:   c.cacheEntries,
+		RequestTimeout: c.requestTimeout,
+	})
+	hs := &http.Server{
+		Addr:              c.addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       c.readTimeout,
+		WriteTimeout:      c.writeTimeout,
+		IdleTimeout:       c.idleTimeout,
+		MaxHeaderBytes:    c.maxHeaderBytes,
+	}
+	return svc, hs
+}
+
 // serve runs the long-running characterization service: the HTTP/JSON
 // API over a single warm engine, so concurrent clients share cached
 // plans and sweep results. It shuts down gracefully on SIGINT/SIGTERM:
@@ -21,17 +95,8 @@ import (
 // sweeps mid-warmup and canceling queued and running jobs, instead of
 // waiting for them to run to completion — and the HTTP listener then
 // drains the (now fast-unwinding) connections for up to ten seconds.
-func serve(addr string, scale, workers, cacheEntries int) error {
-	e := copernicus.NewEngine()
-	if workers > 0 {
-		e.SetWorkers(workers)
-	}
-	svc := service.New(service.Options{Engine: e, Scale: scale, CacheEntries: cacheEntries})
-	hs := &http.Server{
-		Addr:              addr,
-		Handler:           svc.Handler(),
-		ReadHeaderTimeout: 10 * time.Second,
-	}
+func serve(c serveConfig) error {
+	svc, hs := buildServe(c)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -39,7 +104,7 @@ func serve(addr string, scale, workers, cacheEntries int) error {
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.ListenAndServe() }()
 	fmt.Printf("copernicus service on %s: %d built-in matrices (scale %d), %d workers\n",
-		addr, svc.Registry().Len(), scale, e.Workers())
+		c.addr, svc.Registry().Len(), c.scale, svc.Engine().Workers())
 
 	select {
 	case err := <-errCh:

@@ -61,6 +61,16 @@ type Measurement struct {
 	// not the machine width. Zero for modelled backends.
 	Runs    int
 	Threads int
+
+	// Degraded is true when the requested backend could not produce this
+	// measurement and a fallback costing stood in (Native falling back to
+	// the analytic model after transient measurement failures exhaust
+	// their retry budget or trip the breaker); DegradedReason says why.
+	// A degraded measurement is complete and correct under the fallback —
+	// Measured is false, and the annotation rides the result row so
+	// clients can see which points lost their wall-clock costing.
+	Degraded       bool
+	DegradedReason string
 }
 
 // Backend costs characterization points on prepared streaming plans.

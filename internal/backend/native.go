@@ -2,13 +2,17 @@ package backend
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"copernicus/internal/faults"
 	"copernicus/internal/formats"
 	"copernicus/internal/hlsim"
+	"copernicus/internal/resilience"
 	"copernicus/internal/scenario"
 )
 
@@ -78,6 +82,86 @@ const maxBatch = 4096
 // measurement at a time is a property of the host, not of an instance.
 var measureMu sync.Mutex
 
+// ptNativeMeasure lets the chaos suite fail the timed phase of a native
+// evaluation: a transient injection exercises the retry, a persistent
+// one trips the breaker into analytic degradation.
+var ptNativeMeasure = faults.Point("backend.native.measure")
+
+// Measurement resilience, process-wide like measureMu: a flaky timed
+// phase (injected fault, or a future real source like a perf-counter
+// hiccup) is retried with backoff; past the breaker threshold, native
+// evaluations degrade to the analytic model — annotated, not failed —
+// until the cooldown admits a probe. Fresh Native values are resolved
+// per request, so per-instance state would never accumulate; host
+// measurement health is a property of the process.
+var (
+	measureBreaker atomic.Pointer[resilience.Breaker]
+
+	natRetries  atomic.Uint64 // retried measurement attempts
+	natDegraded atomic.Uint64 // evaluations degraded to analytic
+	natFailures atomic.Uint64 // measurement attempts that failed
+)
+
+// measureRetry is the timed-phase retry policy: a few quick attempts
+// with jittered millisecond backoff. Classification is the package
+// default (transient errors and recovered panics retry; context
+// cancellations and plain errors do not).
+var measureRetry = resilience.Policy{
+	MaxAttempts: 3,
+	BaseDelay:   time.Millisecond,
+	MaxDelay:    10 * time.Millisecond,
+	OnRetry:     func(int, error, time.Duration) { natRetries.Add(1) },
+}
+
+func init() {
+	// Threshold 3 / 5s cooldown: a persistently failing timed phase stops
+	// burning its 3-attempt retry budget per row after 3 consecutive
+	// degraded evaluations, and measurement is re-probed twice a minute.
+	measureBreaker.Store(resilience.NewBreaker(3, 5*time.Second))
+}
+
+// MeasureBreaker returns the process-wide breaker guarding native
+// measurement (stats surfaces snapshot it).
+func MeasureBreaker() *resilience.Breaker { return measureBreaker.Load() }
+
+// SetMeasureBreaker replaces the measurement breaker — tests inject
+// thresholds and clocks. nil restores the default.
+func SetMeasureBreaker(b *resilience.Breaker) {
+	if b == nil {
+		b = resilience.NewBreaker(3, 5*time.Second)
+	}
+	measureBreaker.Store(b)
+}
+
+// NativeStats is the failure observability of native measurement,
+// surfaced on /v1/stats.
+type NativeStats struct {
+	Retries  uint64                     `json:"retries"`
+	Degraded uint64                     `json:"degraded"`
+	Failures uint64                     `json:"failures"`
+	Breaker  resilience.BreakerSnapshot `json:"breaker"`
+}
+
+// NativeMeasureStats snapshots the native measurement failure counters
+// and breaker state.
+func NativeMeasureStats() NativeStats {
+	return NativeStats{
+		Retries:  natRetries.Load(),
+		Degraded: natDegraded.Load(),
+		Failures: natFailures.Load(),
+		Breaker:  MeasureBreaker().Snapshot(),
+	}
+}
+
+// ResetNativeMeasureStats zeroes the counters and restores a fresh
+// default breaker — test isolation.
+func ResetNativeMeasureStats() {
+	natRetries.Store(0)
+	natDegraded.Store(0)
+	natFailures.Store(0)
+	SetMeasureBreaker(nil)
+}
+
 // ID returns "native".
 func (*Native) ID() string { return "native" }
 
@@ -112,6 +196,55 @@ func (n *Native) Evaluate(ctx context.Context, pl *hlsim.Plan, sc scenario.Spec,
 		return Measurement{}, err
 	}
 
+	runs := n.Runs
+	if runs <= 0 {
+		runs = DefaultRuns
+	}
+
+	// The timed phase runs behind the process-wide breaker with a bounded
+	// retry: a transiently failing measurement is re-sampled per policy,
+	// and a persistently failing one — retry budget exhausted, breaker
+	// past its threshold — degrades this evaluation to the analytic model
+	// with an annotation instead of erroring the sweep row. The warm-up
+	// above already verified the point, so the fallback costs only the
+	// modelled pricing.
+	br := MeasureBreaker()
+	if err := br.Allow(); err != nil {
+		return n.degrade(ctx, pl, sc, k, x, "measurement breaker open")
+	}
+	var meas Measurement
+	err := resilience.Retry(ctx, measureRetry, func(ctx context.Context) error {
+		m, merr := n.measure(ctx, pl, k, x, r, threads, iters, runs)
+		if merr != nil {
+			natFailures.Add(1)
+			return merr
+		}
+		meas = m
+		return nil
+	})
+	switch {
+	case err == nil:
+		br.Success()
+		return meas, nil
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		br.Cancel() // aborted, not unhealthy
+		return Measurement{}, err
+	case resilience.Retryable(err):
+		br.Failure()
+		return n.degrade(ctx, pl, sc, k, x, fmt.Sprintf("measurement failed after %d attempts: %v", measureRetry.MaxAttempts, err))
+	default:
+		br.Cancel() // a plain error says nothing about measurement health
+		return Measurement{}, err
+	}
+}
+
+// measure is one attempt at the timed phase: calibrate the batch size,
+// then take runs min-of-k samples, all under the process-wide
+// measurement lock.
+func (n *Native) measure(ctx context.Context, pl *hlsim.Plan, k formats.Kind, x []float64, r *hlsim.Result, threads, iters, runs int) (Measurement, error) {
+	if err := ptNativeMeasure.Hit(); err != nil {
+		return Measurement{}, err
+	}
 	measureMu.Lock()
 	defer measureMu.Unlock()
 
@@ -133,10 +266,6 @@ func (n *Native) Evaluate(ctx context.Context, pl *hlsim.Plan, sc scenario.Spec,
 		batch *= 2
 	}
 
-	runs := n.Runs
-	if runs <= 0 {
-		runs = DefaultRuns
-	}
 	best := time.Duration(1<<63 - 1)
 	for s := 0; s < runs; s++ {
 		if err := ctx.Err(); err != nil {
@@ -160,4 +289,19 @@ func (n *Native) Evaluate(ctx context.Context, pl *hlsim.Plan, sc scenario.Spec,
 		Runs:       runs,
 		Threads:    threads,
 	}, nil
+}
+
+// degrade falls back to the analytic model for a point whose wall-clock
+// measurement is unavailable, annotating the Measurement so the
+// degradation is visible on the result row (core.Result.Degraded, the
+// service's degraded/degraded_reason fields).
+func (n *Native) degrade(ctx context.Context, pl *hlsim.Plan, sc scenario.Spec, k formats.Kind, x []float64, reason string) (Measurement, error) {
+	natDegraded.Add(1)
+	m, err := (Analytic{}).Evaluate(ctx, pl, sc, k, x)
+	if err != nil {
+		return Measurement{}, err
+	}
+	m.Degraded = true
+	m.DegradedReason = "native: " + reason + "; analytic fallback"
+	return m, nil
 }

@@ -1,0 +1,12 @@
+// Package chaos is the cross-layer fault-injection test suite: it arms
+// deterministic fault plans (the same COPERNICUS_FAULTS grammar a live
+// server accepts) against a real service over HTTP and against the bare
+// engine, and asserts the containment contracts end to end — panics
+// answered as structured 500s with the process intact, transient native
+// measurement failures retried then degraded to annotated analytic
+// rows past the breaker, job fleets quarantined and recovered, and
+// analytic results bit-identical once faults clear. The package holds
+// only tests; run it with the race detector:
+//
+//	go test -race ./internal/chaos
+package chaos

@@ -18,9 +18,11 @@ import (
 	"time"
 
 	"copernicus/internal/backend"
+	"copernicus/internal/faults"
 	"copernicus/internal/formats"
 	"copernicus/internal/hlsim"
 	"copernicus/internal/matrix"
+	"copernicus/internal/resilience"
 	"copernicus/internal/scenario"
 	"copernicus/internal/synth"
 	"copernicus/internal/workloads"
@@ -56,6 +58,14 @@ type Result struct {
 	// measurement time. Zero for modelled results.
 	MeasuredRuns int
 	Threads      int
+	// Degraded is true when the requested backend could not cost this
+	// point and a fallback did instead (e.g. native measurement failing
+	// transiently past its retry budget, degrading to the analytic
+	// model); DegradedReason says why. The row is still complete and
+	// correct under the fallback — degradation is an annotation, not an
+	// error.
+	Degraded       bool
+	DegradedReason string
 
 	// Sigma is the decompression latency overhead of Eq. (1), aggregated
 	// over all non-zero partitions (dense ≡ 1).
@@ -327,6 +337,28 @@ func defaultBackend(b backend.Backend) backend.Backend {
 	return b
 }
 
+// ptSweepGroup lets the chaos suite fail or stall one (workload, kernel,
+// p) group of a streaming sweep — e.g. after the first group has already
+// been emitted, proving the mid-stream error contract.
+var ptSweepGroup = faults.Point("core.sweep.group")
+
+// validatePoint rejects (format, partition size) combinations that the
+// encoders or the synthesis estimator cannot model, before any plan or
+// worker goroutine touches them: blocked/sliced formats need divisible
+// tile edges, and the synth model floors p at synth.MinP. Both are
+// wrapped formats.ErrBadPartition — a client fault, mapped to 400 by the
+// service — closing the remote crash where an indivisible or tiny p
+// panicked inside a sweep worker and killed the process.
+func validatePoint(k formats.Kind, p int) error {
+	if err := formats.ValidateP(k, p); err != nil {
+		return err
+	}
+	if p < synth.MinP {
+		return fmt.Errorf("%w: p=%d below the synthesis model minimum %d", formats.ErrBadPartition, p, synth.MinP)
+	}
+	return nil
+}
+
 // characterizeOn runs one (kernel, format) point on a prepared plan
 // against a precomputed operand vector and software reference — the
 // shared inner step of Characterize and Sweep. The backend supplies the
@@ -374,6 +406,8 @@ func (e *Engine) characterizeOn(ctx context.Context, b backend.Backend, name str
 		Measured:          meas.Measured,
 		MeasuredRuns:      meas.Runs,
 		Threads:           meas.Threads,
+		Degraded:          meas.Degraded,
+		DegradedReason:    meas.DegradedReason,
 		DynamicEnergyJ:    rep.DynamicW * meas.Seconds,
 		StaticEnergyJ:     rep.StaticW * meas.Seconds,
 		Sigma:             run.Sigma(),
@@ -418,6 +452,9 @@ func (e *Engine) CharacterizeKernelWith(ctx context.Context, b backend.Backend, 
 	if err := sc.Validate(); err != nil {
 		return Result{}, fmt.Errorf("core: %s/%v/p=%d: %w", name, k, p, err)
 	}
+	if err := validatePoint(k, p); err != nil {
+		return Result{}, fmt.Errorf("core: %s/%v: %w", name, k, err)
+	}
 	b = defaultBackend(b)
 	pl, err := e.plan(m, p)
 	if err != nil {
@@ -451,6 +488,11 @@ func (e *Engine) SweepFormatsWith(ctx context.Context, b backend.Backend, name s
 func (e *Engine) SweepFormatsKernelWith(ctx context.Context, b backend.Backend, name string, m *matrix.CSR, sc scenario.Spec, p int, kinds []formats.Kind) ([]Result, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, fmt.Errorf("core: %s/p=%d: %w", name, p, err)
+	}
+	for _, k := range kinds {
+		if err := validatePoint(k, p); err != nil {
+			return nil, fmt.Errorf("core: %s/%v: %w", name, k, err)
+		}
 	}
 	b = defaultBackend(b)
 	pl, err := e.plan(m, p)
@@ -634,7 +676,7 @@ func (e *Engine) SweepGroupsKernelsWith(ctx context.Context, b backend.Backend, 
 				sc := specs[(g/len(ps))%len(specs)]
 				p := ps[g%len(ps)]
 				start := time.Now()
-				rs, err := e.SweepFormatsKernelWith(ictx, b, w.ID, w.M, sc, p, kinds)
+				rs, err := e.sweepGroupSafe(ictx, b, w.ID, w.M, sc, p, kinds)
 				outs[g] = groupOut{
 					g:   SweepGroup{Workload: w.ID, Kernel: sc.String(), P: p, Results: rs, Elapsed: time.Since(start)},
 					err: err,
@@ -677,6 +719,25 @@ func (e *Engine) SweepGroupsKernelsWith(ctx context.Context, b backend.Backend, 
 	cancel() // stop any still-running groups before returning
 	wg.Wait()
 	return err
+}
+
+// sweepGroupSafe runs one sweep group with panic containment: a panic
+// anywhere under the group — plan warmup, backend evaluation, metric
+// aggregation — is recovered into a *resilience.PanicError and becomes
+// the group's error, failing the sweep with a structured error instead
+// of unwinding the worker goroutine and killing the process. The
+// ptSweepGroup fault point lets the chaos suite fail a chosen group
+// (e.g. the second, after the first has streamed out).
+func (e *Engine) sweepGroupSafe(ctx context.Context, b backend.Backend, name string, m *matrix.CSR, sc scenario.Spec, p int, kinds []formats.Kind) (rs []Result, err error) {
+	defer func() {
+		if pe := resilience.Recovered(ptSweepGroup.Name(), recover()); pe != nil {
+			rs, err = nil, fmt.Errorf("core: %s/%s/p=%d: %w", name, sc, p, pe)
+		}
+	}()
+	if ferr := ptSweepGroup.Hit(); ferr != nil {
+		return nil, fmt.Errorf("core: %s/%s/p=%d: %w", name, sc, p, ferr)
+	}
+	return e.SweepFormatsKernelWith(ctx, b, name, m, sc, p, kinds)
 }
 
 // Filter returns the results matching the given predicate.

@@ -121,6 +121,33 @@ const SELLSlice = 4
 // out-of-range stream contents.
 var ErrCorrupt = errors.New("formats: corrupt encoding")
 
+// ErrBadPartition is wrapped by ValidateP failures: the requested
+// partition size cannot be encoded by the requested format. Services map
+// it to a client error.
+var ErrBadPartition = errors.New("formats: invalid partition size")
+
+// ValidateP reports whether format k can encode p×p tiles: blocked and
+// sliced formats divide the tile edge by a fixed factor, and their
+// encoders panic on indivisible sizes. Every untrusted (format, p) pair
+// must pass through here before reaching Encode — a malformed sweep
+// request becomes a 400, not a panic inside a worker goroutine.
+func ValidateP(k Kind, p int) error {
+	if p < 1 {
+		return fmt.Errorf("%w: p=%d", ErrBadPartition, p)
+	}
+	switch k {
+	case BCSR:
+		if p%BCSRBlock != 0 {
+			return fmt.Errorf("%w: %v needs p divisible by %d, got %d", ErrBadPartition, k, BCSRBlock, p)
+		}
+	case SELL, SELLCS:
+		if p%SELLSlice != 0 {
+			return fmt.Errorf("%w: %v needs p divisible by %d, got %d", ErrBadPartition, k, SELLSlice, p)
+		}
+	}
+	return nil
+}
+
 func corruptf(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
 }

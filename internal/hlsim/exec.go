@@ -9,6 +9,7 @@ import (
 
 	"copernicus/internal/formats"
 	"copernicus/internal/matrix"
+	"copernicus/internal/resilience"
 )
 
 // Tile-parallel executable SpMV: RunExecInto multiplies through the
@@ -116,25 +117,40 @@ func (pl *Plan) exec(ctx context.Context, k formats.Kind) (*planExec, error) {
 
 // buildExec re-encodes every non-zero tile in format k for resident
 // kernel use, chunk-claimed across the caller plus any free encode-pool
-// helpers (fanOut), with cancellation checked between chunks.
+// helpers (fanOut), with cancellation checked between chunks. Worker
+// panics and injected faults abort the build unpublished, exactly like a
+// cancellation (see encodeFormat).
 func (pl *Plan) buildExec(ctx context.Context, k formats.Kind) (*planExec, error) {
 	tiles := pl.pt.Tiles
 	n := len(tiles)
 	ex := &planExec{encs: make([]formats.Encoded, n)}
 	var next atomic.Int64
+	var fail atomic.Pointer[error]
 	work := func() {
-		for ctx.Err() == nil {
+		defer func() {
+			if pe := resilience.Recovered(ptExecBuild.Name(), recover()); pe != nil {
+				storeFirst(&fail, pe)
+			}
+		}()
+		for ctx.Err() == nil && fail.Load() == nil {
 			lo := int(next.Add(encodeChunk)) - encodeChunk
 			if lo >= n {
 				return
 			}
 			for i := lo; i < min(lo+encodeChunk, n); i++ {
+				if err := ptExecBuild.Hit(); err != nil {
+					storeFirst(&fail, err)
+					return
+				}
 				ex.encs[i] = formats.Encode(k, tiles[i])
 			}
 		}
 	}
 	pl.fanOut(work, n)
 	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := loadErr(&fail); err != nil {
 		return nil, err
 	}
 	for _, enc := range ex.encs {
@@ -179,17 +195,31 @@ func (p *ExecPool) work() {
 	for {
 		select {
 		case j := <-p.queue:
-			p.idle.Add(-1)
-			j.run()
-			// Park accounting precedes Done so that once the dispatcher's
-			// Wait returns, every helper it reached is already counted
-			// idle again — the invariant the leak test asserts.
-			p.idle.Add(1)
-			j.wg.Done()
+			p.runJob(j)
 		case <-p.quit:
 			return
 		}
 	}
+}
+
+// runJob executes one dispatched job on a pool worker with panic
+// containment: a panic inside a format kernel (or an injected chaos
+// fault) is recovered into a *resilience.PanicError stored on the job —
+// the dispatcher returns it as the call's error — and the worker parks
+// again with its accounting intact. The defers run recover first, then
+// the idle increment, then Done, so park accounting still precedes Done:
+// once the dispatcher's Wait returns, every helper it reached is already
+// counted idle again — the invariant the leak test asserts.
+func (p *ExecPool) runJob(j *execJob) {
+	p.idle.Add(-1)
+	defer j.wg.Done()
+	defer p.idle.Add(1)
+	defer func() {
+		if pe := resilience.Recovered(ptExecSpan.Name(), recover()); pe != nil {
+			j.fail(pe)
+		}
+	}()
+	j.run()
 }
 
 // Size returns the pool's worker count.
@@ -225,25 +255,43 @@ func (pl *Plan) SetExecPool(p *ExecPool) { pl.xpool.Store(p) }
 
 // execJob is one RunExecInto dispatch, pooled so the warm path performs
 // zero allocations. Workers and the caller claim block-row spans from
-// next; done (nil for uncancellable contexts) is polled between claims.
+// next; done (nil for uncancellable contexts) and failed are polled
+// between claims, so a cancellation or a contained fault stops every
+// participant at the next span boundary.
 type execJob struct {
-	encs  []formats.Encoded
-	tiles []*matrix.Tile
-	spans []execSpan
-	x, y  []float64
-	done  <-chan struct{}
-	next  atomic.Int64
-	wg    sync.WaitGroup
+	encs   []formats.Encoded
+	tiles  []*matrix.Tile
+	spans  []execSpan
+	x, y   []float64
+	done   <-chan struct{}
+	next   atomic.Int64
+	wg     sync.WaitGroup
+	failed atomic.Bool
+	errp   atomic.Pointer[error]
 }
 
 var execJobPool = sync.Pool{New: func() any { return new(execJob) }}
 
-// run claims block rows until none remain or the job is canceled. Each
-// claimed span clears its own y range and accumulates its tiles in
-// ascending block-column order through the format kernels.
+// fail records the job's first failure (a recovered panic or an injected
+// fault) and stops further span claims. Later failures are discarded.
+func (j *execJob) fail(err error) {
+	storeFirst(&j.errp, err)
+	j.failed.Store(true)
+}
+
+// err returns the job's recorded failure, if any.
+func (j *execJob) err() error { return loadErr(&j.errp) }
+
+// run claims block rows until none remain, the job is canceled, or a
+// participant failed. Each claimed span clears its own y range and
+// accumulates its tiles in ascending block-column order through the
+// format kernels.
 func (j *execJob) run() {
 	nspans := int64(len(j.spans))
 	for {
+		if j.failed.Load() {
+			return
+		}
 		if j.done != nil {
 			select {
 			case <-j.done:
@@ -253,6 +301,10 @@ func (j *execJob) run() {
 		}
 		s := j.next.Add(1) - 1
 		if s >= nspans {
+			return
+		}
+		if err := ptExecSpan.Hit(); err != nil {
+			j.fail(err)
 			return
 		}
 		sp := j.spans[s]
@@ -334,6 +386,8 @@ func (pl *Plan) RunExecIntoContext(ctx context.Context, k formats.Kind, x []floa
 	job.x, job.y = x, y
 	job.done = ctx.Done()
 	job.next.Store(0)
+	job.failed.Store(false)
+	job.errp.Store(nil)
 
 	pool := pl.xpool.Load()
 	if pool == nil {
@@ -349,11 +403,27 @@ dispatch:
 			break dispatch // pool busy: degrade toward serial
 		}
 	}
-	job.run()
+	// The caller executes under the same containment as pool workers: a
+	// kernel panic on this goroutine becomes the job's recorded failure
+	// instead of unwinding past the dispatch (which would strand the
+	// pooled job and skip the Wait).
+	func() {
+		defer func() {
+			if pe := resilience.Recovered(ptExecSpan.Name(), recover()); pe != nil {
+				job.fail(pe)
+			}
+		}()
+		job.run()
+	}()
 	job.wg.Wait()
+	ferr := job.err()
 
 	job.encs, job.tiles, job.spans = nil, nil, nil
 	job.x, job.y, job.done = nil, nil, nil
+	job.errp.Store(nil)
 	execJobPool.Put(job)
+	if ferr != nil {
+		return ferr
+	}
 	return ctx.Err()
 }

@@ -11,6 +11,7 @@ import (
 
 	"copernicus/internal/formats"
 	"copernicus/internal/matrix"
+	"copernicus/internal/resilience"
 )
 
 // Plan is an encode-once streaming plan: one matrix partitioned at one
@@ -352,6 +353,14 @@ const (
 // serial encode. Cancellation is checked between chunks (by the caller
 // and every helper); a canceled encode returns ctx.Err() and the partial
 // planFormat is discarded by the caller, never published.
+//
+// Fault containment: a panic in any worker (encoder invariant violation,
+// injected chaos fault) is recovered into a *resilience.PanicError and —
+// like an injected error — aborts the encode. The caller treats it
+// exactly as a cancellation: the partial planFormat is never published,
+// so a retry re-runs the encode from scratch and the result is
+// bit-identical to a fault-free run. Pool helpers release their tokens
+// through fanOut's defers either way.
 func (pl *Plan) encodeFormat(ctx context.Context, k formats.Kind) (*planFormat, error) {
 	if planEncodeHook != nil {
 		planEncodeHook(k)
@@ -360,13 +369,23 @@ func (pl *Plan) encodeFormat(ctx context.Context, k formats.Kind) (*planFormat, 
 	n := len(tiles)
 	pf := &planFormat{tiles: make([]TileResult, n), encs: make([]formats.Encoded, n)}
 	var next atomic.Int64
+	var fail atomic.Pointer[error]
 	work := func() {
-		for ctx.Err() == nil {
+		defer func() {
+			if pe := resilience.Recovered(ptEncodeTile.Name(), recover()); pe != nil {
+				storeFirst(&fail, pe)
+			}
+		}()
+		for ctx.Err() == nil && fail.Load() == nil {
 			lo := int(next.Add(encodeChunk)) - encodeChunk
 			if lo >= n {
 				return
 			}
 			for i := lo; i < min(lo+encodeChunk, n); i++ {
+				if err := ptEncodeTile.Hit(); err != nil {
+					storeFirst(&fail, err)
+					return
+				}
 				enc := formats.Encode(k, tiles[i])
 				pf.encs[i] = enc
 				tr, err := RunTile(pl.cfg, enc)
@@ -383,6 +402,9 @@ func (pl *Plan) encodeFormat(ctx context.Context, k formats.Kind) (*planFormat, 
 	}
 	pl.fanOut(work, n)
 	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := loadErr(&fail); err != nil {
 		return nil, err
 	}
 	if pf.err() != nil {
@@ -453,7 +475,9 @@ borrow:
 //
 // Like format, verify is cancellation-safe: a leader canceled between
 // tiles leaves the encodings unconsumed and the slot unverified, so a
-// later caller re-runs the cross-check in full.
+// later caller re-runs the cross-check in full. Panics and injected
+// faults follow the same discipline — the slot is abandoned unverified
+// and the failure propagates as an error.
 func (pl *Plan) verify(ctx context.Context, k formats.Kind) (*planFormat, error) {
 	pf, err := pl.format(ctx, k)
 	if err != nil {
@@ -479,27 +503,38 @@ func (pl *Plan) verify(ctx context.Context, k formats.Kind) (*planFormat, error)
 		slot.verWait = w
 		slot.mu.Unlock()
 
-		done := pl.runVerify(ctx, k, pf)
+		verr := pl.runVerify(ctx, k, pf)
 		slot.mu.Lock()
 		slot.verWait = nil
-		slot.verified = done
+		slot.verified = verr == nil
 		slot.mu.Unlock()
 		close(w)
-		if !done {
-			return nil, ctx.Err()
+		if verr != nil {
+			return nil, verr
 		}
 		return pf, pf.err()
 	}
 }
 
-// runVerify cross-checks every tile's encoding, returning false if the
-// context was canceled first (the encodings stay unconsumed for a retry)
-// and true on completion — success or a sticky error published in pf.
-func (pl *Plan) runVerify(ctx context.Context, k formats.Kind, pf *planFormat) bool {
+// runVerify cross-checks every tile's encoding. A nil return means the
+// pass completed — success or a sticky model error published in pf —
+// and the encodings were consumed. A non-nil return (cancellation,
+// injected fault, or a panic recovered as *resilience.PanicError) leaves
+// the encodings unconsumed and the slot unverified, so a retry re-runs
+// the cross-check in full.
+func (pl *Plan) runVerify(ctx context.Context, k formats.Kind, pf *planFormat) (abort error) {
+	defer func() {
+		if pe := resilience.Recovered(ptVerifyTile.Name(), recover()); pe != nil {
+			abort = pe
+		}
+	}()
 	encs := pf.encs
 	for ti, tile := range pl.pt.Tiles {
 		if ti%encodeChunk == 0 && ctx.Err() != nil {
-			return false
+			return ctx.Err()
+		}
+		if err := ptVerifyTile.Hit(); err != nil {
+			return err
 		}
 		dec, err := encs[ti].Decode()
 		if err != nil {
@@ -512,7 +547,7 @@ func (pl *Plan) runVerify(ctx context.Context, k formats.Kind, pf *planFormat) b
 		}
 	}
 	pf.encs = nil // encodings are not needed once cross-checked
-	return true
+	return nil
 }
 
 // crossCheck compares a decoded tile against the original, sparse row by

@@ -18,26 +18,39 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"copernicus/internal/faults"
+	"copernicus/internal/resilience"
 )
 
 // State is a job's lifecycle phase.
 type State string
 
-// Job lifecycle states. Queued and Running are active; Done, Failed and
-// Canceled are terminal.
+// Job lifecycle states. Queued and Running are active; Done, Failed,
+// Canceled and Quarantined are terminal. Quarantined is the retry dead
+// end: the task kept failing retryably (panics, transient faults) until
+// the attempt budget ran out, so the job is parked rather than silently
+// re-queued — the record says exactly how many attempts were burned.
 const (
-	StateQueued   State = "queued"
-	StateRunning  State = "running"
-	StateDone     State = "done"
-	StateFailed   State = "failed"
-	StateCanceled State = "canceled"
+	StateQueued      State = "queued"
+	StateRunning     State = "running"
+	StateDone        State = "done"
+	StateFailed      State = "failed"
+	StateCanceled    State = "canceled"
+	StateQuarantined State = "quarantined"
 )
 
 // Terminal reports whether the state is final.
 func (s State) Terminal() bool {
-	return s == StateDone || s == StateFailed || s == StateCanceled
+	return s == StateDone || s == StateFailed || s == StateCanceled || s == StateQuarantined
 }
+
+// ptJobRun lets the chaos suite fail or panic job attempts: armed
+// transient, it exercises the retry path; armed as a panic, the per-job
+// recovery; armed persistently, quarantine.
+var ptJobRun = faults.Point("jobs.run")
 
 // GroupTiming records one completed (workload, p) group of a sweep job:
 // how many points it contributed and how long its compute took.
@@ -58,11 +71,17 @@ type Info struct {
 	Total int `json:"total"`
 	// Error carries the failure (or cancellation) cause for terminal
 	// non-Done states.
-	Error      string        `json:"error,omitempty"`
-	CreatedAt  time.Time     `json:"created_at"`
-	StartedAt  *time.Time    `json:"started_at,omitempty"`
-	FinishedAt *time.Time    `json:"finished_at,omitempty"`
-	Groups     []GroupTiming `json:"groups,omitempty"`
+	Error string `json:"error,omitempty"`
+	// Attempt is the 1-based execution attempt this snapshot describes;
+	// MaxAttempts is the configured budget. Attempt is 0 while queued and
+	// stays at the final attempt in terminal states, so a quarantined job
+	// reads Attempt == MaxAttempts.
+	Attempt     int           `json:"attempt,omitempty"`
+	MaxAttempts int           `json:"max_attempts,omitempty"`
+	CreatedAt   time.Time     `json:"created_at"`
+	StartedAt   *time.Time    `json:"started_at,omitempty"`
+	FinishedAt  *time.Time    `json:"finished_at,omitempty"`
+	Groups      []GroupTiming `json:"groups,omitempty"`
 }
 
 // Task is the work a job performs. It must honor ctx cancellation
@@ -145,7 +164,32 @@ type Manager struct {
 	seq      int
 
 	maxRecords int
+	retries    Retries
 	wg         sync.WaitGroup
+
+	// Failure observability, surfaced via Stats on /v1/stats.
+	running     atomic.Int64
+	retried     atomic.Uint64
+	quarantined atomic.Uint64
+	panics      atomic.Uint64
+}
+
+// Retries configures per-job retry: a failed attempt whose error is
+// retryable (resilience.Retryable — recovered panics and transient
+// faults; never cancellations or plain task errors) is re-run from
+// scratch with jittered exponential backoff, up to Max attempts total.
+// Exhausting the budget quarantines the job. Configure once at manager
+// construction time, before jobs run.
+type Retries struct {
+	// Max is the total attempt budget per job, first try included;
+	// values below 1 mean 1 (no retry).
+	Max int
+	// BaseDelay/MaxDelay shape the full-jitter backoff between attempts
+	// (zero BaseDelay retries immediately).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Seed makes the backoff schedule deterministic for tests.
+	Seed uint64
 }
 
 // Defaults for NewManager's zero parameters.
@@ -182,6 +226,47 @@ func NewManager(root context.Context, workers, queueCap int) *Manager {
 		go m.runner()
 	}
 	return m
+}
+
+// SetRetries configures the per-job retry budget. Call before submitting
+// jobs — the policy is read when a job starts running.
+func (m *Manager) SetRetries(r Retries) {
+	if r.Max < 1 {
+		r.Max = 1
+	}
+	m.mu.Lock()
+	m.retries = r
+	m.mu.Unlock()
+}
+
+// Queued returns the number of jobs currently waiting in the admission
+// queue — the service's readiness measure (readyz reports saturation
+// when it reaches the queue capacity).
+func (m *Manager) Queued() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.queuedLocked()
+}
+
+// Stats is the manager's failure-observability snapshot.
+type Stats struct {
+	Queued          int    `json:"queued"`
+	Running         int    `json:"running"`
+	Retries         uint64 `json:"retries"`
+	Quarantined     uint64 `json:"quarantined"`
+	PanicsRecovered uint64 `json:"panics_recovered"`
+}
+
+// Stats snapshots queue depth, in-flight jobs, and the lifetime failure
+// counters.
+func (m *Manager) Stats() Stats {
+	return Stats{
+		Queued:          m.Queued(),
+		Running:         int(m.running.Load()),
+		Retries:         m.retried.Load(),
+		Quarantined:     m.quarantined.Load(),
+		PanicsRecovered: m.panics.Load(),
+	}
 }
 
 // Wait blocks until every runner goroutine has exited (after the root
@@ -282,6 +367,12 @@ func (m *Manager) runJob(j *job) {
 		j.finishCanceled(context.Cause(j.ctx))
 		return
 	}
+	m.mu.Lock()
+	retries := m.retries
+	m.mu.Unlock()
+	if retries.Max < 1 {
+		retries.Max = 1
+	}
 	j.mu.Lock()
 	if j.info.State != StateQueued { // canceled while queued
 		j.mu.Unlock()
@@ -290,16 +381,61 @@ func (m *Manager) runJob(j *job) {
 	now := time.Now()
 	j.info.State = StateRunning
 	j.info.StartedAt = &now
+	j.info.Attempt = 1
+	j.info.MaxAttempts = retries.Max
 	j.broadcastLocked()
 	task, ctx := j.task, j.ctx
 	j.mu.Unlock()
+	m.running.Add(1)
+	defer m.running.Add(-1)
 
-	res, err := task(ctx, func(points int, g GroupTiming) {
+	report := func(points int, g GroupTiming) {
 		j.mu.Lock()
 		j.info.Done += points
 		j.info.Groups = append(j.info.Groups, g)
 		j.broadcastLocked()
 		j.mu.Unlock()
+	}
+
+	// Each attempt runs the task under panic containment: a panic in the
+	// task (or anything it calls that isn't already contained below) is
+	// recovered into a *resilience.PanicError and classified like any
+	// other attempt error — the runner goroutine and the process survive.
+	// A retry restarts the job from scratch, so the attempt's partial
+	// progress is rolled back first (subscribers see Done reset and the
+	// attempt counter advance).
+	pol := resilience.Policy{
+		MaxAttempts: retries.Max,
+		BaseDelay:   retries.BaseDelay,
+		MaxDelay:    retries.MaxDelay,
+		Seed:        retries.Seed,
+		OnRetry: func(attempt int, _ error, _ time.Duration) {
+			m.retried.Add(1)
+			j.mu.Lock()
+			j.info.Attempt = attempt + 1
+			j.info.Done = 0
+			j.info.Groups = nil
+			j.broadcastLocked()
+			j.mu.Unlock()
+		},
+	}
+	var res any
+	err := resilience.Retry(ctx, pol, func(ctx context.Context) (aerr error) {
+		defer func() {
+			if pe := resilience.Recovered(ptJobRun.Name(), recover()); pe != nil {
+				m.panics.Add(1)
+				aerr = pe
+			}
+		}()
+		if ferr := ptJobRun.Hit(); ferr != nil {
+			return ferr
+		}
+		r, terr := task(ctx, report)
+		if terr != nil {
+			return terr
+		}
+		res = r
+		return nil
 	})
 
 	j.mu.Lock()
@@ -312,6 +448,12 @@ func (m *Manager) runJob(j *job) {
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		j.info.State = StateCanceled
 		j.info.Error = err.Error()
+	case resilience.Retryable(err):
+		// The attempt budget ran out on an error that says "try again":
+		// park the job instead of pretending the failure was diagnostic.
+		m.quarantined.Add(1)
+		j.info.State = StateQuarantined
+		j.info.Error = fmt.Sprintf("quarantined after %d attempts: %v", j.info.Attempt, err)
 	default:
 		j.info.State = StateFailed
 		j.info.Error = err.Error()

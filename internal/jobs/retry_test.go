@@ -1,0 +1,192 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"copernicus/internal/faults"
+	"copernicus/internal/resilience"
+)
+
+// TestJobRetriesTransientFailure: a transiently failing task is re-run
+// from scratch — progress rolls back, the attempt counter advances, and
+// the final state is done.
+func TestJobRetriesTransientFailure(t *testing.T) {
+	m := NewManager(context.Background(), 1, 4)
+	m.SetRetries(Retries{Max: 3})
+	var attempts atomic.Int64
+	ji, err := m.Submit("flaky", 2, func(ctx context.Context, report func(int, GroupTiming)) (any, error) {
+		report(1, GroupTiming{Workload: "a", P: 8, Points: 1})
+		if attempts.Add(1) < 3 {
+			return nil, resilience.Transient(errors.New("glitch"))
+		}
+		report(1, GroupTiming{Workload: "a", P: 16, Points: 1})
+		return "ok", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitState(t, m, ji.ID, StateDone)
+	if done.Attempt != 3 || done.MaxAttempts != 3 {
+		t.Fatalf("want success on attempt 3/3, got %d/%d", done.Attempt, done.MaxAttempts)
+	}
+	if done.Done != 2 || len(done.Groups) != 2 {
+		t.Fatalf("retried attempts must roll progress back: Done=%d Groups=%d", done.Done, len(done.Groups))
+	}
+	st := m.Stats()
+	if st.Retries != 2 || st.Quarantined != 0 {
+		t.Fatalf("stats = %+v, want 2 retries 0 quarantined", st)
+	}
+}
+
+// TestJobQuarantineAfterBudget: a task that fails retryably on every
+// attempt lands in quarantined — not failed — with the attempt budget
+// visible in the record.
+func TestJobQuarantineAfterBudget(t *testing.T) {
+	m := NewManager(context.Background(), 1, 4)
+	m.SetRetries(Retries{Max: 2})
+	ji, err := m.Submit("doomed", 1, func(ctx context.Context, report func(int, GroupTiming)) (any, error) {
+		return nil, resilience.Transient(errors.New("still broken"))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := waitState(t, m, ji.ID, StateQuarantined)
+	if !q.State.Terminal() {
+		t.Fatal("quarantined must be terminal")
+	}
+	if q.Attempt != 2 || !strings.Contains(q.Error, "quarantined after 2 attempts") {
+		t.Fatalf("quarantine record = %+v", q)
+	}
+	if st := m.Stats(); st.Quarantined != 1 || st.Retries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestJobPanicRecovered: a panicking task does not kill the runner — the
+// panic becomes a PanicError, is retried like a transient fault, and the
+// runner keeps serving later jobs.
+func TestJobPanicRecovered(t *testing.T) {
+	m := NewManager(context.Background(), 1, 4)
+	m.SetRetries(Retries{Max: 2})
+	var attempts atomic.Int64
+	ji, err := m.Submit("panicky", 1, func(ctx context.Context, report func(int, GroupTiming)) (any, error) {
+		if attempts.Add(1) == 1 {
+			panic("kaboom")
+		}
+		return "recovered", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitState(t, m, ji.ID, StateDone)
+	if done.Attempt != 2 {
+		t.Fatalf("want success on the post-panic attempt, got %+v", done)
+	}
+	if st := m.Stats(); st.PanicsRecovered != 1 {
+		t.Fatalf("stats = %+v, want 1 recovered panic", st)
+	}
+
+	// The same runner goroutine survives to run the next job.
+	ji2, err := m.Submit("after", 1, func(ctx context.Context, report func(int, GroupTiming)) (any, error) {
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, ji2.ID, StateDone)
+}
+
+// TestJobPanicEveryAttemptQuarantines: persistent panics exhaust the
+// budget into quarantine with the panic provenance in the error.
+func TestJobPanicEveryAttemptQuarantines(t *testing.T) {
+	m := NewManager(context.Background(), 1, 4)
+	m.SetRetries(Retries{Max: 2})
+	ji, err := m.Submit("always panics", 1, func(ctx context.Context, report func(int, GroupTiming)) (any, error) {
+		panic("unrecoverable bug")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := waitState(t, m, ji.ID, StateQuarantined)
+	if !strings.Contains(q.Error, "unrecoverable bug") || !strings.Contains(q.Error, "panic") {
+		t.Fatalf("quarantine error should carry the panic: %q", q.Error)
+	}
+	if st := m.Stats(); st.PanicsRecovered != 2 || st.Quarantined != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestJobPlainErrorNotRetried: an ordinary task error is diagnostic —
+// one attempt, state failed, no retry burn.
+func TestJobPlainErrorNotRetried(t *testing.T) {
+	m := NewManager(context.Background(), 1, 4)
+	m.SetRetries(Retries{Max: 3})
+	var attempts atomic.Int64
+	ji, err := m.Submit("broken input", 1, func(ctx context.Context, report func(int, GroupTiming)) (any, error) {
+		attempts.Add(1)
+		return nil, errors.New("bad matrix")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := waitState(t, m, ji.ID, StateFailed)
+	if attempts.Load() != 1 || f.Error != "bad matrix" {
+		t.Fatalf("attempts=%d info=%+v", attempts.Load(), f)
+	}
+	if st := m.Stats(); st.Retries != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestJobRunFaultPoint: the jobs.run injection point fires before the
+// task — a transient injection retries, and the hit counter proves each
+// attempt passed through the point.
+func TestJobRunFaultPoint(t *testing.T) {
+	defer faults.DisarmAll()
+	pt := faults.Point("jobs.run")
+	pt.Arm(faults.Injection{Times: 1, Transient: true})
+
+	m := NewManager(context.Background(), 1, 4)
+	m.SetRetries(Retries{Max: 2})
+	var ran atomic.Int64
+	ji, err := m.Submit("inject", 1, func(ctx context.Context, report func(int, GroupTiming)) (any, error) {
+		ran.Add(1)
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitState(t, m, ji.ID, StateDone)
+	if done.Attempt != 2 || ran.Load() != 1 {
+		t.Fatalf("injected first attempt should never reach the task: attempt=%d ran=%d", done.Attempt, ran.Load())
+	}
+	if pt.Hits() != 2 {
+		t.Fatalf("fault point hits = %d, want 2", pt.Hits())
+	}
+}
+
+// TestJobCancelDuringRetryBackoff: cancellation between attempts ends
+// the job canceled, not quarantined.
+func TestJobCancelDuringRetryBackoff(t *testing.T) {
+	m := NewManager(context.Background(), 1, 4)
+	m.SetRetries(Retries{Max: 10, BaseDelay: time.Hour, MaxDelay: time.Hour, Seed: 7})
+	started := make(chan struct{}, 1)
+	ji, err := m.Submit("backoff", 1, func(ctx context.Context, report func(int, GroupTiming)) (any, error) {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		return nil, resilience.Transient(errors.New("flap"))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	m.Cancel(ji.ID)
+	waitState(t, m, ji.ID, StateCanceled)
+}

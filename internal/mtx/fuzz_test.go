@@ -56,6 +56,39 @@ func FuzzRead(f *testing.F) {
 	})
 }
 
+// FuzzReadLimited: the bounded ingestion path — the one the service
+// upload handler trusts — must never panic, and every acceptance must
+// honor the limits. Unlike FuzzRead, no size pre-screen is needed: the
+// limits themselves are checked from the size line before any per-entry
+// allocation, which is exactly the property under fuzz.
+func FuzzReadLimited(f *testing.F) {
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.5\n2 2 -3\n")
+	f.Add("%%MatrixMarket matrix coordinate real symmetric\n% c\n3 3 2\n2 1 1\n3 3 2\n")
+	f.Add("%%MatrixMarket matrix coordinate integer general\n1 1 1\n1 1 7\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1\n1 1 2\n") // duplicates sum
+	f.Add("%%MatrixMarket matrix coordinate real general\n5000 2 1\n1 1 1\n")     // over MaxRows
+	f.Add("%%MatrixMarket matrix coordinate real general\n999999999999999999999 1 1\n1 1 1\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 1 junk\n1 1 1\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 1\n2 2 2\n") // excess entry
+	f.Fuzz(func(t *testing.T, in string) {
+		lim := Limits{MaxRows: 1 << 12, MaxCols: 1 << 12, MaxEntries: 1 << 12}
+		m, err := ReadLimited(strings.NewReader(in), lim)
+		if err != nil {
+			return
+		}
+		if m.Rows > lim.MaxRows || m.Cols > lim.MaxCols {
+			t.Fatalf("accepted %dx%d past limits %+v", m.Rows, m.Cols, lim)
+		}
+		// Symmetric expansion may double MaxEntries; it never exceeds 2x.
+		if nnz := m.NNZ(); nnz > 2*lim.MaxEntries {
+			t.Fatalf("accepted %d entries past limit %d (even symmetric-expanded)", nnz, lim.MaxEntries)
+		}
+		if verr := m.Validate(); verr != nil {
+			t.Fatalf("bounded parser accepted an invalid matrix: %v", verr)
+		}
+	})
+}
+
 // oversizedHeader reports whether the first non-comment line after the
 // banner declares a dimension above the cap.
 func oversizedHeader(in string, cap int) bool {

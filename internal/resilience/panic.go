@@ -1,0 +1,53 @@
+package resilience
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// PanicError is a recovered panic promoted to an ordinary error: the
+// panic value, the fault-containment point that caught it (e.g.
+// "hlsim.exec.span", "jobs.run"), and the goroutine stack at recovery.
+// Workers that recover panics return a *PanicError so the failure
+// propagates to the caller through the normal error path — the request
+// or job fails with a structured error instead of the panic unwinding
+// past the goroutine boundary and killing the process.
+//
+// PanicError satisfies the default Retryable classification: a panicking
+// computation is retried up to the policy bound, then quarantined.
+type PanicError struct {
+	// Point names the containment site that recovered the panic.
+	Point string
+	// Value is the value passed to panic().
+	Value any
+	// Stack is the goroutine stack captured at recovery.
+	Stack []byte
+}
+
+// Recovered wraps a recover() value into a *PanicError, capturing the
+// current goroutine's stack. It returns nil when v is nil, so it can be
+// called unconditionally:
+//
+//	defer func() {
+//		if pe := resilience.Recovered("jobs.run", recover()); pe != nil {
+//			err = pe
+//		}
+//	}()
+func Recovered(point string, v any) *PanicError {
+	if v == nil {
+		return nil
+	}
+	return &PanicError{Point: point, Value: v, Stack: debug.Stack()}
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic at %s: %v", e.Point, e.Value)
+}
+
+// Unwrap surfaces a wrapped error panic value (panic(err)) to errors.Is/As.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}

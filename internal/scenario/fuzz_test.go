@@ -1,0 +1,43 @@
+package scenario
+
+import "testing"
+
+// FuzzParse drives the kernel-spec grammar with arbitrary strings. The
+// contract under fuzz: Parse never panics, every accepted spec passes
+// Validate, and the canonical String form round-trips to the identical
+// Spec — spec strings key result caches, so canonicalization must be a
+// fixed point.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		// The grammar's canonical forms.
+		"spmv", "bfs", "cg:60", "jacobi:3", "pagerank:10", "spmm:8",
+		// Case-insensitive acceptance, boundary parameters.
+		"CG:60", "SpMM:1", "cg:1048576",
+		// Shapes Parse must reject without panicking.
+		"", "cg", "spmm", "spmv:2", "bfs:1", "cg:0", "cg:-1", "cg:1048577",
+		"cg:", ":8", "cg:60:1", "cg:9999999999999999999", "cg: 60",
+		"spmv ", " spmv", "cg:6e1", "pägerank:1", "spmv\x00",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		sc, err := Parse(s)
+		if err != nil {
+			return
+		}
+		if verr := sc.Validate(); verr != nil {
+			t.Fatalf("Parse(%q) accepted a spec Validate rejects: %+v: %v", s, sc, verr)
+		}
+		canon := sc.String()
+		rt, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("Parse(%q) -> %+v, but canonical form %q does not re-parse: %v", s, sc, canon, err)
+		}
+		if rt != sc {
+			t.Fatalf("round trip drifted: Parse(%q)=%+v, Parse(%q)=%+v", s, sc, canon, rt)
+		}
+		if rt.String() != canon {
+			t.Fatalf("String not a fixed point: %q -> %q", canon, rt.String())
+		}
+	})
+}

@@ -115,8 +115,10 @@ func Parse(s string) (Spec, error) {
 	}
 }
 
-// MustParse is Parse for compile-time-constant specs in tests and
-// benchmarks; it panics on error.
+// MustParse is Parse for compile-time-constant specs (report tables,
+// tests, benchmarks); it panics on error. Never feed it request input —
+// everything arriving over a wire or flag goes through Parse, whose
+// error becomes the caller's 400.
 func MustParse(s string) Spec {
 	sc, err := Parse(s)
 	if err != nil {

@@ -14,6 +14,7 @@ import (
 
 	"copernicus/internal/backend"
 	"copernicus/internal/core"
+	"copernicus/internal/faults"
 	"copernicus/internal/formats"
 	"copernicus/internal/hlsim"
 	"copernicus/internal/matrix"
@@ -21,6 +22,12 @@ import (
 	"copernicus/internal/scenario"
 	"copernicus/internal/workloads"
 )
+
+// ptServiceSweep lets the chaos suite fail (or panic) the compute phase
+// of a sweep request after validation — exercising the in-band NDJSON
+// error line, the batch error statuses, and the singleflight cache's
+// panic containment.
+var ptServiceSweep = faults.Point("service.sweep")
 
 // Request-shape bounds: a sweep request fans out |formats| × |partitions|
 // characterizations, so both lists are capped, and partition sizes are
@@ -51,6 +58,8 @@ type resultJSON struct {
 	Measured          bool    `json:"measured"`
 	MeasuredRuns      int     `json:"measured_runs,omitempty"`
 	Threads           int     `json:"threads,omitempty"`
+	Degraded          bool    `json:"degraded,omitempty"`
+	DegradedReason    string  `json:"degraded_reason,omitempty"`
 	NsPerNNZ          float64 `json:"ns_per_nnz"`
 	Sigma             float64 `json:"sigma"`
 	BalanceRatio      float64 `json:"balance_ratio"`
@@ -84,6 +93,8 @@ func toResultJSON(r core.Result) resultJSON {
 		Measured:          r.Measured,
 		MeasuredRuns:      r.MeasuredRuns,
 		Threads:           r.Threads,
+		Degraded:          r.Degraded,
+		DegradedReason:    r.DegradedReason,
 		NsPerNNZ:          r.NsPerNNZ,
 		Sigma:             r.Sigma,
 		BalanceRatio:      r.BalanceRatio,
@@ -298,6 +309,9 @@ var errMatrixDeleted = errors.New("matrix deleted")
 // are considered valid; a deleted matrix is never re-pinned by the
 // engine (and errors are never cached).
 func (s *Server) computeSweep(ctx context.Context, info MatrixInfo, m *matrix.CSR, b backend.Backend, sc scenario.Spec, kinds []formats.Kind, ps []int, onRow func(core.Result)) ([]core.Result, error) {
+	if err := ptServiceSweep.Hit(); err != nil {
+		return nil, err
+	}
 	ws := []workloads.Workload{{ID: info.ID, M: m}}
 	out := make([]core.Result, 0, len(kinds)*len(ps))
 	err := s.engine.SweepStreamKernelsWith(ctx, b, ws, []scenario.Spec{sc}, kinds, ps, func(r core.Result) error {
@@ -374,7 +388,7 @@ func sweepStatus(err error) int {
 	switch {
 	case errors.Is(err, errMatrixDeleted):
 		return http.StatusNotFound
-	case errors.Is(err, hlsim.ErrUnknownFormat):
+	case errors.Is(err, hlsim.ErrUnknownFormat), errors.Is(err, formats.ErrBadPartition):
 		return http.StatusBadRequest
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		return http.StatusServiceUnavailable
@@ -384,6 +398,28 @@ func sweepStatus(err error) int {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "uptime_s": time.Since(s.start).Seconds()})
+}
+
+// handleReadyz is the load-balancer signal, distinct from healthz:
+// healthz says "the process is alive" (and stays 200 through a drain so
+// orchestrators don't kill a server that's finishing its work), while
+// readyz says "send me traffic". It flips to 503 the moment Shutdown
+// begins — before healthz ever changes — and while the job queue is
+// saturated (new submissions would bounce with 429 anyway).
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	queued := s.jobs.Queued()
+	switch {
+	case s.baseCtx.Err() != nil:
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+	case queued >= s.opts.JobQueue:
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "saturated", "queued": queued, "queue_cap": s.opts.JobQueue,
+		})
+	default:
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status": "ready", "queued": queued, "queue_cap": s.opts.JobQueue,
+		})
+	}
 }
 
 func (s *Server) handleListMatrices(w http.ResponseWriter, r *http.Request) {
@@ -553,7 +589,7 @@ func (s *Server) serveSweep(w http.ResponseWriter, r *http.Request, matrixID str
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	ctx, cancel := s.reqCtx(r)
+	ctx, cancel := s.computeCtx(r)
 	defer cancel()
 	if wantsNDJSON(r) {
 		s.streamSweep(ctx, w, info, b, sc, kinds, ps)
@@ -688,7 +724,7 @@ func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	ctx, cancel := s.reqCtx(r)
+	ctx, cancel := s.computeCtx(r)
 	defer cancel()
 	rs, cached, err := s.runSweep(ctx, info, b, sc, kinds, ps, nil)
 	if err != nil {
@@ -753,7 +789,7 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	ctx, cancel := s.reqCtx(r)
+	ctx, cancel := s.computeCtx(r)
 	defer cancel()
 	rs, cached, err := s.runSweep(ctx, info, b, sc, formats.Sparse(), ps, nil)
 	if err != nil {
@@ -794,6 +830,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"engine_plans": s.engine.PlanStats(),
 		"sweep_cache":  s.cache.Stats(),
 		"backends":     s.backendStats(),
+		"failures": map[string]any{
+			"handler_panics": s.panics.Load(),
+			"jobs":           s.jobs.Stats(),
+			"native_measure": backend.NativeMeasureStats(),
+		},
 	})
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"copernicus/internal/core"
@@ -35,6 +36,19 @@ type Options struct {
 	// jobs.DefaultQueue); a full queue rejects submissions with 429.
 	JobWorkers int
 	JobQueue   int
+	// JobRetries is the total attempt budget per background job: a job
+	// whose attempt fails retryably (a recovered panic, an injected
+	// transient fault) is re-run from scratch with backoff up to this
+	// many attempts, then quarantined. Zero takes the default of 2;
+	// negative disables retry (one attempt).
+	JobRetries int
+	// RequestTimeout is the server-side deadline cap applied to every
+	// synchronous compute request (sweep, characterize, advise): compute
+	// exceeding it is aborted and answered 503. Zero takes the default
+	// of 60s; negative disables the cap. Job event streams (SSE) are
+	// never capped — they observe background work rather than hold
+	// compute.
+	RequestTimeout time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -61,6 +75,18 @@ func (o Options) withDefaults() Options {
 	}
 	if o.JobQueue <= 0 {
 		o.JobQueue = jobs.DefaultQueue
+	}
+	switch {
+	case o.JobRetries == 0:
+		o.JobRetries = 2
+	case o.JobRetries < 0:
+		o.JobRetries = 1
+	}
+	switch {
+	case o.RequestTimeout == 0:
+		o.RequestTimeout = 60 * time.Second
+	case o.RequestTimeout < 0:
+		o.RequestTimeout = 0
 	}
 	return o
 }
@@ -90,6 +116,10 @@ type Server struct {
 	// backend's hit rate separately on /v1/stats.
 	bmu    sync.Mutex
 	bstats map[string]*BackendStats
+
+	// panics counts handler panics recovered by the middleware — each
+	// one answered 500 instead of killing the process.
+	panics atomic.Uint64
 }
 
 // BackendStats is the per-backend slice of sweep-cache traffic: Hits are
@@ -145,6 +175,11 @@ func New(o Options) *Server {
 		stop:    stop,
 		bstats:  map[string]*BackendStats{},
 	}
+	s.jobs.SetRetries(jobs.Retries{
+		Max:       o.JobRetries,
+		BaseDelay: 50 * time.Millisecond,
+		MaxDelay:  time.Second,
+	})
 	c := workloads.Config{Scale: o.Scale, RandomDim: o.Scale, BandDim: o.Scale}
 	for _, w := range workloads.SuiteSparse(c) {
 		s.reg.AddBuiltin(w.ID, w.Name, w.Kind, w.M)
@@ -159,8 +194,63 @@ func New(o Options) *Server {
 	return s
 }
 
-// Handler returns the service's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the service's HTTP handler: the route mux behind the
+// panic-recovery middleware.
+func (s *Server) Handler() http.Handler { return s.recoverer(s.mux) }
+
+// HandlerPanics returns how many handler panics the recovery middleware
+// has absorbed (also surfaced under /v1/stats "failures").
+func (s *Server) HandlerPanics() uint64 { return s.panics.Load() }
+
+// recoverer contains handler panics: a panicking request is answered
+// with a structured 500 (when the response hasn't started) and counted,
+// instead of unwinding into the http.Server and leaving the process's
+// health to net/http's per-connection recovery. http.ErrAbortHandler is
+// re-panicked — it is net/http's documented way to abort a response.
+func (s *Server) recoverer(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		cw := &countingWriter{ResponseWriter: w}
+		defer func() {
+			v := recover()
+			if v == nil {
+				return
+			}
+			if v == http.ErrAbortHandler {
+				panic(v)
+			}
+			s.panics.Add(1)
+			if !cw.wrote {
+				writeErr(cw, http.StatusInternalServerError, "internal error: handler panic recovered")
+			}
+		}()
+		next.ServeHTTP(cw, r)
+	})
+}
+
+// countingWriter records whether the response status has been written,
+// so the recoverer knows when a 500 can still be sent.
+type countingWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (c *countingWriter) WriteHeader(status int) {
+	c.wrote = true
+	c.ResponseWriter.WriteHeader(status)
+}
+
+func (c *countingWriter) Write(b []byte) (int, error) {
+	c.wrote = true
+	return c.ResponseWriter.Write(b)
+}
+
+// Flush forwards http.Flusher so streaming handlers keep flushing
+// through the recovery wrapper.
+func (c *countingWriter) Flush() {
+	if f, ok := c.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
 
 // Engine returns the shared characterization engine.
 func (s *Server) Engine() *core.Engine { return s.engine }
@@ -199,8 +289,24 @@ func (s *Server) reqCtx(r *http.Request) (context.Context, context.CancelFunc) {
 	return ctx, func() { stopWatch(); cancel() }
 }
 
+// computeCtx is reqCtx with the server-side deadline cap applied —
+// the context compute handlers (sweep, characterize, advise) run under.
+// A request whose engine work exceeds the cap unwinds with
+// DeadlineExceeded and is answered 503, so one pathological request
+// cannot hold a connection and its compute forever. SSE streams keep
+// using reqCtx: they watch background jobs, not hold compute.
+func (s *Server) computeCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	ctx, cancel := s.reqCtx(r)
+	if s.opts.RequestTimeout <= 0 {
+		return ctx, cancel
+	}
+	tctx, tcancel := context.WithTimeout(ctx, s.opts.RequestTimeout)
+	return tctx, func() { tcancel(); cancel() }
+}
+
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /v1/matrices", s.handleListMatrices)
 	s.mux.HandleFunc("POST /v1/matrices", s.handleUploadMatrix)
 	s.mux.HandleFunc("GET /v1/matrices/{id}", s.handleGetMatrix)

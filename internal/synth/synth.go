@@ -232,9 +232,16 @@ func bramAccessRate(k formats.Kind, p int) float64 {
 	}
 }
 
+// MinP is the smallest partition size the estimator models (the BCSR
+// block edge bounds every array sizing below). Callers fed untrusted
+// partition sizes must validate p >= MinP before calling Estimate; the
+// engine does (see core's sweep validation), so the panic below is a
+// programmer-contract check, not a reachable crash.
+const MinP = formats.BCSRBlock
+
 // Estimate returns the synthesis estimate for format k at partition size p.
 func Estimate(k formats.Kind, p int) Report {
-	if p < formats.BCSRBlock {
+	if p < MinP {
 		panic(fmt.Sprintf("synth: partition size %d below block size", p))
 	}
 	r := Report{Format: k, P: p}
