@@ -1,0 +1,338 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"copernicus/internal/wire"
+)
+
+// loadgenConfig drives `copernicus loadgen`: an open-loop load generator
+// for a live copernicus service, pacing a mixed scenario deck at a
+// target request rate and reporting latency percentiles per scenario.
+type loadgenConfig struct {
+	target   string        // base URL of the server under test
+	rps      float64       // target request rate (open-loop)
+	duration time.Duration // how long to drive load
+	conc     int           // max in-flight requests; at the cap, launches are dropped (counted)
+	matrix   string        // matrix ID the warm scenarios hammer
+	out      string        // JSON report path ("" = BENCH_loadgen.json)
+	strict   bool          // non-zero exit on errors or zero completed requests
+	wait     time.Duration // wait for the server to answer /v1/healthz first
+}
+
+func (c loadgenConfig) withDefaults() loadgenConfig {
+	if c.rps <= 0 {
+		c.rps = 50
+	}
+	if c.duration <= 0 {
+		c.duration = 10 * time.Second
+	}
+	if c.conc <= 0 {
+		c.conc = 64
+	}
+	if c.matrix == "" {
+		c.matrix = "DW"
+	}
+	if c.out == "" {
+		c.out = "BENCH_loadgen.json"
+	}
+	if c.wait <= 0 {
+		c.wait = 15 * time.Second
+	}
+	return c
+}
+
+// lgScenario is one entry of the mixed deck: how to build the request
+// and how often it is drawn. Weights are relative; the deck is sampled
+// deterministically (a weighted round-robin over a fixed schedule), so
+// two runs at the same rate issue the same request sequence.
+type lgScenario struct {
+	name   string
+	weight int
+	build  func(seq uint64, base, matrix string) (*http.Request, error)
+}
+
+// coldSeq makes every cold request a distinct cache key by varying the
+// kernel's iteration parameter — jacobi:N sweeps are real compute, and
+// each N is its own sweep-cache entry (bounded by the service's
+// iteration cap).
+func coldSeq(seq uint64) string {
+	return fmt.Sprintf("jacobi:%d", 2+seq%4000)
+}
+
+func loadgenDeck() []lgScenario {
+	get := func(path string, accept string) func(uint64, string, string) (*http.Request, error) {
+		return func(_ uint64, base, matrix string) (*http.Request, error) {
+			req, err := http.NewRequest("GET", base+fmt.Sprintf(path, matrix), nil)
+			if err == nil && accept != "" {
+				req.Header.Set("Accept", accept)
+			}
+			return req, err
+		}
+	}
+	sweep := func(accept string, cold bool) func(uint64, string, string) (*http.Request, error) {
+		return func(seq uint64, base, matrix string) (*http.Request, error) {
+			kernel := ""
+			if cold {
+				kernel = fmt.Sprintf(", %q: %q", "kernel", coldSeq(seq))
+			}
+			body := fmt.Sprintf(`{"matrix": %q, "formats": ["CSR", "ELL"], "partitions": [8, 16]%s}`, matrix, kernel)
+			req, err := http.NewRequest("POST", base+"/v1/sweep", strings.NewReader(body))
+			if err == nil && accept != "" {
+				req.Header.Set("Accept", accept)
+			}
+			return req, err
+		}
+	}
+	return []lgScenario{
+		{"sweep_warm_json", 8, sweep("", false)},
+		{"sweep_warm_col", 8, sweep(wire.ContentType, false)},
+		{"characterize_warm_json", 4, get("/v1/characterize?matrix=%s&format=CSR&p=8", "")},
+		{"characterize_warm_col", 4, get("/v1/characterize?matrix=%s&format=CSR&p=8", wire.ContentType)},
+		{"advise_warm_json", 2, get("/v1/advise?matrix=%s&p=8", "")},
+		{"sweep_cold_json", 1, sweep("", true)},
+		{"sweep_cold_col", 1, sweep(wire.ContentType, true)},
+	}
+}
+
+// lgTally accumulates one scenario's outcomes; latencies are kept whole
+// for exact percentile extraction afterwards.
+type lgTally struct {
+	mu        sync.Mutex
+	latencies []time.Duration
+	bytes     int64
+	errors    int64
+}
+
+func (t *lgTally) record(lat time.Duration, n int64, ok bool) {
+	t.mu.Lock()
+	if ok {
+		t.latencies = append(t.latencies, lat)
+		t.bytes += n
+	} else {
+		t.errors++
+	}
+	t.mu.Unlock()
+}
+
+// lgScenarioReport is one scenario's line in BENCH_loadgen.json.
+type lgScenarioReport struct {
+	Name        string  `json:"name"`
+	Requests    int     `json:"requests"`
+	Errors      int64   `json:"errors"`
+	BytesPerReq float64 `json:"bytes_per_request"`
+	P50Ms       float64 `json:"p50_ms"`
+	P95Ms       float64 `json:"p95_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+}
+
+// lgReport is the full BENCH_loadgen.json record.
+type lgReport struct {
+	Target      string             `json:"target"`
+	TargetRPS   float64            `json:"target_rps"`
+	DurationS   float64            `json:"duration_s"`
+	AchievedRPS float64            `json:"achieved_rps"`
+	Completed   int                `json:"completed"`
+	Errors      int64              `json:"errors"`
+	Dropped     int64              `json:"dropped"`
+	Scenarios   []lgScenarioReport `json:"scenarios"`
+}
+
+func percentileMs(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return float64(sorted[i]) / float64(time.Millisecond)
+}
+
+// lgWaitReady polls /v1/healthz until the server answers 200 — loadgen
+// is usually started right after `serve`, before the suites finish
+// registering.
+func lgWaitReady(ctx context.Context, client *http.Client, base string, wait time.Duration) error {
+	deadline := time.Now().Add(wait)
+	for {
+		req, err := http.NewRequestWithContext(ctx, "GET", base+"/v1/healthz", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server at %s not ready after %s (last: %v)", base, wait, err)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(200 * time.Millisecond):
+		}
+	}
+}
+
+// runLoadgen drives the deck against a live server and returns the
+// report. Pacing is open-loop: launch times follow the target rate
+// regardless of response latency, so a slow server shows up as rising
+// percentiles (and, at the concurrency cap, dropped launches) instead
+// of a silently reduced rate.
+func runLoadgen(ctx context.Context, c loadgenConfig) (*lgReport, error) {
+	c = c.withDefaults()
+	client := &http.Client{Timeout: 30 * time.Second}
+	if err := lgWaitReady(ctx, client, c.target, c.wait); err != nil {
+		return nil, err
+	}
+
+	deck := loadgenDeck()
+	// Fixed weighted schedule: scenario i appears weight[i] times per
+	// cycle, interleaved by repeating the deck expansion.
+	var schedule []int
+	for i, sc := range deck {
+		for k := 0; k < sc.weight; k++ {
+			schedule = append(schedule, i)
+		}
+	}
+
+	tallies := make([]lgTally, len(deck))
+	var wg sync.WaitGroup
+	var dropped int64
+	sem := make(chan struct{}, c.conc)
+	interval := time.Duration(float64(time.Second) / c.rps)
+	start := time.Now()
+	end := start.Add(c.duration)
+
+	var seq uint64
+	for next := start; next.Before(end) && ctx.Err() == nil; next = next.Add(interval) {
+		if d := time.Until(next); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+			}
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		i := schedule[seq%uint64(len(schedule))]
+		n := seq
+		seq++ // only the pacing loop touches seq
+		select {
+		case sem <- struct{}{}:
+		default:
+			atomic.AddInt64(&dropped, 1) // at the in-flight cap: open-loop drops, not queues
+			continue
+		}
+		wg.Add(1)
+		go func(i int, n uint64) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			req, err := deck[i].build(n, c.target, c.matrix)
+			if err != nil {
+				tallies[i].record(0, 0, false)
+				return
+			}
+			req = req.WithContext(ctx)
+			t0 := time.Now()
+			resp, err := client.Do(req)
+			if err != nil {
+				tallies[i].record(0, 0, false)
+				return
+			}
+			nBytes, _ := io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			ok := resp.StatusCode >= 200 && resp.StatusCode < 300
+			tallies[i].record(time.Since(t0), nBytes, ok)
+		}(i, n)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &lgReport{
+		Target:    c.target,
+		TargetRPS: c.rps,
+		DurationS: elapsed.Seconds(),
+		Dropped:   atomic.LoadInt64(&dropped),
+	}
+	for i, sc := range deck {
+		t := &tallies[i]
+		sort.Slice(t.latencies, func(a, b int) bool { return t.latencies[a] < t.latencies[b] })
+		var bpr float64
+		if len(t.latencies) > 0 {
+			bpr = float64(t.bytes) / float64(len(t.latencies))
+		}
+		rep.Scenarios = append(rep.Scenarios, lgScenarioReport{
+			Name:        sc.name,
+			Requests:    len(t.latencies),
+			Errors:      t.errors,
+			BytesPerReq: bpr,
+			P50Ms:       percentileMs(t.latencies, 0.50),
+			P95Ms:       percentileMs(t.latencies, 0.95),
+			P99Ms:       percentileMs(t.latencies, 0.99),
+		})
+		rep.Completed += len(t.latencies)
+		rep.Errors += t.errors
+	}
+	if elapsed > 0 {
+		rep.AchievedRPS = float64(rep.Completed) / elapsed.Seconds()
+	}
+	return rep, nil
+}
+
+// loadgenCmd is the `copernicus loadgen` entry point: run the deck,
+// print the per-scenario table, write the JSON report, and (with
+// -strict) fail the process on errors or an idle run.
+func loadgenCmd(ctx context.Context, c loadgenConfig) error {
+	rep, err := runLoadgen(ctx, c)
+	if err != nil {
+		return err
+	}
+	c = c.withDefaults()
+
+	fmt.Printf("loadgen %s: %.1f rps target, %.1f achieved, %d completed, %d errors, %d dropped over %.1fs\n",
+		rep.Target, rep.TargetRPS, rep.AchievedRPS, rep.Completed, rep.Errors, rep.Dropped, rep.DurationS)
+	fmt.Printf("%-24s %8s %7s %12s %9s %9s %9s\n",
+		"scenario", "reqs", "errs", "bytes/req", "p50 ms", "p95 ms", "p99 ms")
+	for _, sc := range rep.Scenarios {
+		fmt.Printf("%-24s %8d %7d %12.0f %9.2f %9.2f %9.2f\n",
+			sc.Name, sc.Requests, sc.Errors, sc.BytesPerReq, sc.P50Ms, sc.P95Ms, sc.P99Ms)
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(c.out, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", c.out)
+
+	if c.strict {
+		switch {
+		case rep.Completed == 0:
+			return fmt.Errorf("strict: no requests completed")
+		case rep.Errors > 0:
+			return fmt.Errorf("strict: %d requests failed", rep.Errors)
+		}
+	}
+	return nil
+}

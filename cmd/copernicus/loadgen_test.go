@@ -1,0 +1,104 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestLoadgenAgainstLiveServer drives the full deck against an
+// in-process server for a short burst: every scenario must complete
+// requests without errors, and the JSON report must land on disk with
+// populated percentiles.
+func TestLoadgenAgainstLiveServer(t *testing.T) {
+	svc, hs := buildServe(serveConfig{scale: 64})
+	ts := httptest.NewServer(hs.Handler)
+	defer ts.Close()
+	defer svc.Shutdown()
+
+	out := filepath.Join(t.TempDir(), "BENCH_loadgen.json")
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	err := loadgenCmd(ctx, loadgenConfig{
+		target:   ts.URL,
+		rps:      200,
+		duration: 3 * time.Second,
+		conc:     32,
+		matrix:   "DW",
+		out:      out,
+		strict:   true, // any failed request fails the test
+		wait:     10 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("loadgen: %v", err)
+	}
+
+	blob, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("report not written: %v", err)
+	}
+	var rep lgReport
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.Completed == 0 || rep.AchievedRPS <= 0 {
+		t.Fatalf("idle run: %+v", rep)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d request errors", rep.Errors)
+	}
+	names := map[string]bool{}
+	for _, sc := range rep.Scenarios {
+		names[sc.Name] = true
+		if sc.Requests > 0 && (sc.P50Ms <= 0 || sc.P99Ms < sc.P50Ms) {
+			t.Fatalf("scenario %s has inconsistent percentiles: %+v", sc.Name, sc)
+		}
+		if sc.Requests > 0 && sc.BytesPerReq <= 0 {
+			t.Fatalf("scenario %s reports no bytes: %+v", sc.Name, sc)
+		}
+	}
+	for _, want := range []string{
+		"sweep_warm_json", "sweep_warm_col", "characterize_warm_json",
+		"characterize_warm_col", "advise_warm_json", "sweep_cold_json", "sweep_cold_col",
+	} {
+		if !names[want] {
+			t.Fatalf("deck missing scenario %q", want)
+		}
+	}
+}
+
+// TestLoadgenWaitReadyTimeout: a dead target fails fast with a clear
+// error instead of hammering a closed port for the full duration.
+func TestLoadgenWaitReadyTimeout(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_, err := runLoadgen(ctx, loadgenConfig{
+		target:   "http://127.0.0.1:1", // reserved port, nothing listens
+		duration: time.Second,
+		wait:     500 * time.Millisecond,
+	})
+	if err == nil {
+		t.Fatal("loadgen against a dead target did not fail")
+	}
+}
+
+// TestLoadgenPercentiles pins the nearest-rank percentile extraction.
+func TestLoadgenPercentiles(t *testing.T) {
+	lats := make([]time.Duration, 100)
+	for i := range lats {
+		lats[i] = time.Duration(i+1) * time.Millisecond
+	}
+	if got := percentileMs(lats, 0.50); got != 50 {
+		t.Fatalf("p50 = %v, want 50", got)
+	}
+	if got := percentileMs(lats, 0.99); got != 99 {
+		t.Fatalf("p99 = %v, want 99", got)
+	}
+	if got := percentileMs(nil, 0.99); got != 0 {
+		t.Fatalf("empty p99 = %v, want 0", got)
+	}
+}

@@ -11,6 +11,7 @@
 //	copernicus workloads [flags]         # describe the workload suites
 //	copernicus bench -json [flags]       # time the engine hot paths, emit BENCH_sweep.json
 //	copernicus serve [flags]             # long-running characterization service (HTTP/JSON)
+//	copernicus loadgen [flags]           # drive a live server with a mixed scenario deck, emit BENCH_loadgen.json
 //
 // Flags:
 //
@@ -33,6 +34,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -43,6 +45,8 @@ import (
 	"time"
 
 	"copernicus"
+	"copernicus/internal/service"
+	"copernicus/internal/wire"
 )
 
 func main() {
@@ -89,7 +93,14 @@ func run(args []string) error {
 	idleTimeout := fs.Duration("idle-timeout", 0, "serve: keep-alive idle limit, 0 = 120s default, negative = unlimited")
 	maxHeaderBytes := fs.Int("max-header-bytes", 0, "serve: request header size limit, 0 = 1 MiB default")
 	requestTimeout := fs.Duration("request-timeout", 0, "serve: per-request compute deadline cap, 0 = 60s default, negative = disabled")
-	timeout := fs.Duration("timeout", 0, "abort sweep/advise/bench after this long (0 = no limit)")
+	timeout := fs.Duration("timeout", 0, "abort sweep/advise/bench/loadgen after this long (0 = no limit)")
+	target := fs.String("target", "http://localhost:8459", "server base URL (loadgen)")
+	rps := fs.Float64("rps", 50, "target request rate (loadgen)")
+	lgDuration := fs.Duration("duration", 10*time.Second, "how long to drive load (loadgen)")
+	lgConc := fs.Int("conc", 64, "max in-flight requests (loadgen)")
+	lgMatrix := fs.String("matrix", "DW", "matrix ID the warm scenarios hit (loadgen)")
+	lgStrict := fs.Bool("strict", false, "exit non-zero on any failed request or an idle run (loadgen)")
+	lgWait := fs.Duration("wait-ready", 15*time.Second, "how long to wait for the server to answer healthz (loadgen)")
 	if err := fs.Parse(rest); err != nil {
 		return err
 	}
@@ -169,6 +180,21 @@ func run(args []string) error {
 		return trace(m, *format, *p, *tiles)
 	case "bench":
 		return notePartial(benchCmd(ctx, *scale, *iters, *jsonOut, *out, *backendID, *threads))
+	case "loadgen":
+		lgOut := *out
+		if lgOut == "" {
+			lgOut = "BENCH_loadgen.json"
+		}
+		return notePartial(loadgenCmd(ctx, loadgenConfig{
+			target:   *target,
+			rps:      *rps,
+			duration: *lgDuration,
+			conc:     *lgConc,
+			matrix:   *lgMatrix,
+			out:      lgOut,
+			strict:   *lgStrict,
+			wait:     *lgWait,
+		}))
 	case "serve":
 		return serve(serveConfig{
 			addr:           *addr,
@@ -198,7 +224,7 @@ func run(args []string) error {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: copernicus <list|all|sweep|advise|stats|convert|scaling|bench|serve|workloads|fig3..fig14|table2> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: copernicus <list|all|sweep|advise|stats|convert|scaling|bench|serve|loadgen|workloads|fig3..fig14|table2> [flags]`)
 }
 
 // benchResult is one timed benchmark in the BENCH_sweep.json record.
@@ -211,6 +237,10 @@ type benchResult struct {
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	Points      int     `json:"points,omitempty"`
+	// PayloadBytes is set on serving-path entries: the response (or
+	// encoded slab) size in bytes, so the JSON-vs-columnar size ratio is
+	// part of the per-commit record.
+	PayloadBytes int `json:"payload_bytes,omitempty"`
 	// Speedup is set on derived ratio entries (parallel_speedup_csr):
 	// the single-thread ns_per_op over the full-width ns_per_op.
 	Speedup float64 `json:"speedup,omitempty"`
@@ -293,7 +323,8 @@ func benchCmd(ctx context.Context, scale, iters int, jsonOut bool, out, backendI
 	}
 	ws := copernicus.SuiteSparseWorkloads(copernicus.WorkloadConfig{Scale: scale, RandomDim: scale, BandDim: scale})
 	points := len(ws) * len(copernicus.CoreFormats()) * len(copernicus.PartitionSizes())
-	if _, err := e.SweepWith(ctx, bk, ws, copernicus.CoreFormats(), copernicus.PartitionSizes()); err != nil {
+	slab, err := e.SweepWith(ctx, bk, ws, copernicus.CoreFormats(), copernicus.PartitionSizes())
+	if err != nil {
 		return err
 	}
 	res, err := measure("sweep_suitesparse_core_formats", iters, points, func() error {
@@ -331,6 +362,81 @@ func benchCmd(ctx context.Context, scale, iters int, jsonOut bool, out, backendI
 	rec.Benchmarks = append(rec.Benchmarks,
 		benchResult{Name: "sweep_stream_time_to_first_result", Iterations: iters, NsPerOp: firstNs / float64(iters), Points: points},
 		benchResult{Name: "sweep_stream_total", Iterations: iters, NsPerOp: totalNs / float64(iters), Points: points})
+
+	// Serving-encode benchmarks: rendering the suite slab as the full
+	// JSON response envelope versus the columnar wire body. The payload
+	// sizes land in the record, so the JSON/columnar ratio (the wire
+	// format's reason to exist) is tracked per commit alongside the
+	// encode cost the warm cache eliminates.
+	benchInfo := service.MatrixInfo{ID: "bench", Name: "suite-slab", Source: "builtin", Kind: "suite"}
+	var jsonSlab, colSlab []byte
+	res, err = measure("encode_json_slab", iters, len(slab), func() error {
+		jsonSlab = service.SweepBodyJSON(benchInfo, true, slab)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	res.PayloadBytes = len(jsonSlab)
+	rec.Benchmarks = append(rec.Benchmarks, res)
+	res, err = measure("encode_col_slab", iters, len(slab), func() error {
+		colSlab = wire.Encode(slab)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	res.PayloadBytes = len(colSlab)
+	rec.Benchmarks = append(rec.Benchmarks, res)
+
+	// Warm-hit benchmarks: a cached sweep served through the live
+	// handler per content type — the whole request path with zero
+	// marshal work. The response writer is a sink so the measurement is
+	// the serving path, not a recorder's buffer management.
+	svc := service.New(service.Options{Scale: 64})
+	handler := svc.Handler()
+	warmBody := `{"matrix": "DW", "partitions": [8, 16, 32]}`
+	warmHit := func(accept string) (int64, error) {
+		req, err := http.NewRequest("POST", "/v1/sweep", strings.NewReader(warmBody))
+		if err != nil {
+			return 0, err
+		}
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		sink := &sinkResponseWriter{h: make(http.Header)}
+		handler.ServeHTTP(sink, req)
+		if sink.status != 0 && sink.status != http.StatusOK {
+			return 0, fmt.Errorf("warm hit answered %d", sink.status)
+		}
+		return sink.n, nil
+	}
+	for _, hit := range []struct {
+		name   string
+		accept string
+	}{
+		{"serve_warm_hit_json", ""},
+		{"serve_warm_hit_col", wire.ContentType},
+	} {
+		var n int64
+		// Two priming requests: the cold compute, then the warm encode
+		// that attaches the body to the cache entry.
+		for i := 0; i < 2; i++ {
+			if n, err = warmHit(hit.accept); err != nil {
+				return err
+			}
+		}
+		res, err = measure(hit.name, iters*100, 0, func() error {
+			_, err := warmHit(hit.accept)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		res.PayloadBytes = int(n)
+		rec.Benchmarks = append(rec.Benchmarks, res)
+	}
+	svc.Shutdown()
 
 	// Iterative-kernel benchmark: 60 CG iterations through the
 	// accelerator backend (plan built once per op, reused per iteration).
@@ -562,6 +668,22 @@ func benchCmd(ctx context.Context, scale, iters int, jsonOut bool, out, backendI
 	}
 	fmt.Printf("wrote %s\n", out)
 	return nil
+}
+
+// sinkResponseWriter discards the response body while counting it — the
+// warm-hit benchmarks time the serving path itself, not buffer copies
+// into a test recorder.
+type sinkResponseWriter struct {
+	h      http.Header
+	status int
+	n      int64
+}
+
+func (w *sinkResponseWriter) Header() http.Header { return w.h }
+func (w *sinkResponseWriter) WriteHeader(s int)   { w.status = s }
+func (w *sinkResponseWriter) Write(b []byte) (int, error) {
+	w.n += int64(len(b))
+	return len(b), nil
 }
 
 // cliBackend resolves the -backend/-threads flag pair: -threads is

@@ -52,6 +52,14 @@ type resultCache struct {
 	lru      *list.List               // front = most recently used
 	inflight map[string]*flight
 	stats    CacheStats
+
+	// onEvict, when set, observes every value leaving the cache —
+	// LRU eviction, replacement by a fresh value, and prefix
+	// invalidation — so the owner can release resources the value pins
+	// (the server drops the entry's pre-encoded response bodies from the
+	// resident-bytes gauge). Called with c.mu held; implementations may
+	// take locks nested under c.mu but must never re-enter the cache.
+	onEvict func(key string, val any)
 }
 
 type cacheEntry struct {
@@ -203,7 +211,11 @@ func (c *resultCache) Add(key string, val any) {
 // addLocked inserts or refreshes an entry and trims to capacity.
 func (c *resultCache) addLocked(key string, val any) {
 	if el, ok := c.entries[key]; ok {
-		el.Value.(*cacheEntry).val = val
+		ent := el.Value.(*cacheEntry)
+		if c.onEvict != nil && ent.val != val {
+			c.onEvict(key, ent.val)
+		}
+		ent.val = val
 		c.lru.MoveToFront(el)
 		return
 	}
@@ -211,7 +223,11 @@ func (c *resultCache) addLocked(key string, val any) {
 	for len(c.entries) > c.cap {
 		oldest := c.lru.Back()
 		c.lru.Remove(oldest)
-		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		ent := oldest.Value.(*cacheEntry)
+		delete(c.entries, ent.key)
+		if c.onEvict != nil {
+			c.onEvict(ent.key, ent.val)
+		}
 		c.stats.Evictions++
 	}
 }
@@ -228,6 +244,9 @@ func (c *resultCache) InvalidatePrefix(prefix string) int {
 		if ent := el.Value.(*cacheEntry); strings.HasPrefix(ent.key, prefix) {
 			c.lru.Remove(el)
 			delete(c.entries, ent.key)
+			if c.onEvict != nil {
+				c.onEvict(ent.key, ent.val)
+			}
 			dropped++
 		}
 		el = next

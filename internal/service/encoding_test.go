@@ -1,0 +1,475 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"copernicus/internal/core"
+	"copernicus/internal/formats"
+	"copernicus/internal/synth"
+	"copernicus/internal/wire"
+)
+
+// randomResult builds a result with adversarial field values for the
+// NDJSON parity property test: floats across the fixed/exponent
+// formatting boundary, strings needing every escape class, and the
+// omitempty fields in all presence combinations.
+func randomResult(rng *rand.Rand) core.Result {
+	strs := []string{
+		"DW", "", "wl-1", "a<b>c&d", `quo"te`, `back\slash`,
+		"tab\tline\nnull\x00", "unicode-é世界", "del-\x7f",
+	}
+	floats := func() float64 {
+		switch rng.Intn(6) {
+		case 0:
+			return 0
+		case 1:
+			return math.Copysign(0, -1)
+		case 2:
+			return rng.Float64() * math.Pow(10, float64(rng.Intn(50)-25))
+		case 3:
+			return -rng.Float64() * 1e21 * math.Pow(10, float64(rng.Intn(10)))
+		case 4:
+			return rng.Float64() * 1e-6
+		default:
+			return float64(rng.Intn(1000))
+		}
+	}
+	return core.Result{
+		Workload:          strs[rng.Intn(len(strs))],
+		Format:            formats.Kind(rng.Intn(formats.NumKinds)),
+		P:                 rng.Intn(64) - 8,
+		Kernel:            []string{"spmv", "cg:60", "spmm:8"}[rng.Intn(3)],
+		Iterations:        rng.Intn(100),
+		Backend:           "analytic",
+		Measured:          rng.Intn(2) == 0,
+		MeasuredRuns:      rng.Intn(3),
+		Threads:           rng.Intn(3),
+		Degraded:          rng.Intn(3) == 0,
+		DegradedReason:    strs[rng.Intn(len(strs))],
+		Sigma:             floats(),
+		BalanceRatio:      floats(),
+		MeanMemCycles:     floats(),
+		MeanComputeCycles: floats(),
+		Seconds:           floats(),
+		ThroughputBps:     floats(),
+		NsPerNNZ:          floats(),
+		BandwidthUtil:     floats(),
+		DotEngineUtil:     floats(),
+		InnerPipelineUtil: floats(),
+		NonZeroTiles:      rng.Intn(1000) - 100,
+		TotalTiles:        rng.Intn(1000),
+		TotalBytes:        rng.Intn(1 << 20),
+		Synth: synth.Report{
+			BRAM18K: rng.Intn(100), FF: rng.Intn(1 << 16), LUT: rng.Intn(1 << 16),
+			DynamicW: floats(), StaticW: floats(),
+		},
+		DynamicEnergyJ: floats(),
+		StaticEnergyJ:  floats(),
+	}
+}
+
+// TestNDJSONRowParity: the pooled append encoder must be byte-identical
+// to json.NewEncoder(w).Encode(toResultJSON(r)) — the exact writer the
+// streaming path used before — across adversarial rows.
+func TestNDJSONRowParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var ref bytes.Buffer
+	enc := json.NewEncoder(&ref)
+	for i := 0; i < 2000; i++ {
+		r := randomResult(rng)
+		ref.Reset()
+		if err := enc.Encode(toResultJSON(r)); err != nil {
+			t.Fatalf("row %d: reference encoder: %v", i, err)
+		}
+		got := appendResultNDJSON(nil, r)
+		if !bytes.Equal(got, ref.Bytes()) {
+			t.Fatalf("row %d diverged:\n got %s\nwant %s\nresult %+v", i, got, ref.Bytes(), r)
+		}
+	}
+}
+
+// TestNDJSONRowZeroAlloc: once the row buffer exists, encoding a row
+// allocates nothing — this is the streaming path's per-row cost.
+func TestNDJSONRowZeroAlloc(t *testing.T) {
+	r := core.Result{
+		Workload: "DW", Format: formats.CSR, P: 8, Kernel: "spmv", Iterations: 1,
+		Backend: "analytic", Sigma: 1.5, Seconds: 0.0015, ThroughputBps: 2.5e9,
+		NsPerNNZ: 12.25, NonZeroTiles: 7, TotalTiles: 16, TotalBytes: 4096,
+	}
+	buf := make([]byte, 0, 1024)
+	if n := testing.AllocsPerRun(200, func() {
+		buf = appendResultNDJSON(buf[:0], r)
+	}); n != 0 {
+		t.Fatalf("appendResultNDJSON allocates %.1f per row, want 0", n)
+	}
+}
+
+// sweepBody POSTs /v1/sweep with an optional Accept header and returns
+// the raw response.
+func sweepBody(t *testing.T, base, body, accept string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest("POST", base+"/v1/sweep", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, raw
+}
+
+// TestJSONByteIdentity: cold and warm JSON sweep bodies must be
+// byte-identical to what writeJSON (the pre-cache writer, still used by
+// every other endpoint) renders for the same envelope — the encoded-slab
+// cache must be invisible at the byte level.
+func TestJSONByteIdentity(t *testing.T) {
+	s, ts := newTestServer(t)
+	body := `{"matrix": "DW", "formats": ["CSR", "ELL"], "partitions": [8, 16]}`
+
+	resp1, cold := sweepBody(t, ts.URL, body, "")
+	resp2, warm := sweepBody(t, ts.URL, body, "")
+	resp3, warm2 := sweepBody(t, ts.URL, body, "")
+	for i, resp := range []*http.Response{resp1, resp2, resp3} {
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d", i+1, resp.StatusCode)
+		}
+	}
+	if !bytes.Equal(warm, warm2) {
+		t.Fatal("two warm responses differ")
+	}
+
+	info, _, _ := s.reg.Lookup("DW")
+	b, err := resolveBackend("", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := parseKernel("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := s.cache.Get(sweepKey("DW", b, sc, []formats.Kind{formats.CSR, formats.ELL}, []int{8, 16}))
+	if !ok {
+		t.Fatal("sweep entry not cached")
+	}
+	entry := v.(*sweepEntry)
+
+	reference := func(cached bool) []byte {
+		rec := httptest.NewRecorder()
+		writeJSON(rec, http.StatusOK, sweepEnvelope(info, cached, entry.results))
+		return rec.Body.Bytes()
+	}
+	if !bytes.Equal(cold, reference(false)) {
+		t.Fatalf("cold body diverged from writeJSON:\n got %s\nwant %s", cold, reference(false))
+	}
+	if !bytes.Equal(warm, reference(true)) {
+		t.Fatalf("warm body diverged from writeJSON:\n got %s\nwant %s", warm, reference(true))
+	}
+
+	// Characterize shares the cache key with a one-point sweep but must
+	// keep its own envelope: warm both shapes on one entry and check
+	// neither answers the other's body.
+	q := "?matrix=DW&format=CSR&p=8"
+	for i := 0; i < 2; i++ {
+		if code, _ := doJSON(t, "GET", ts.URL+"/v1/characterize"+q, nil); code != http.StatusOK {
+			t.Fatalf("characterize: %d", code)
+		}
+		if code, _ := doJSON(t, "GET", ts.URL+"/v1/sweep?matrix=DW&formats=CSR&partitions=8", nil); code != http.StatusOK {
+			t.Fatalf("one-point sweep: %d", code)
+		}
+	}
+	_, chBody := doJSON(t, "GET", ts.URL+"/v1/characterize"+q, nil)
+	if _, ok := chBody["result"]; !ok {
+		t.Fatalf("characterize warm body lost its envelope: %v", chBody)
+	}
+	_, swBody := doJSON(t, "GET", ts.URL+"/v1/sweep?matrix=DW&formats=CSR&partitions=8", nil)
+	if _, ok := swBody["results"]; !ok {
+		t.Fatalf("one-point sweep warm body lost its envelope: %v", swBody)
+	}
+}
+
+// TestWarmHitZeroMarshal: a warm hit serves the entry's stored body —
+// fetching it performs zero allocations, and repeated warm requests do
+// not add encodes.
+func TestWarmHitZeroMarshal(t *testing.T) {
+	s, ts := newTestServer(t)
+	body := `{"matrix": "DW", "formats": ["CSR"], "partitions": [8, 16]}`
+	sweepBody(t, ts.URL, body, "")               // cold: one encode
+	sweepBody(t, ts.URL, body, "")               // warm: builds the cached body
+	sweepBody(t, ts.URL, body, wire.ContentType) // builds the columnar body
+	jsonEncodes := s.encJSON.encodes.Load()
+	colEncodes := s.encCol.encodes.Load()
+
+	for i := 0; i < 5; i++ {
+		if resp, _ := sweepBody(t, ts.URL, body, ""); resp.StatusCode != http.StatusOK {
+			t.Fatalf("warm JSON hit: %d", resp.StatusCode)
+		}
+		if resp, _ := sweepBody(t, ts.URL, body, wire.ContentType); resp.StatusCode != http.StatusOK {
+			t.Fatalf("warm columnar hit: %d", resp.StatusCode)
+		}
+	}
+	if got := s.encJSON.encodes.Load(); got != jsonEncodes {
+		t.Fatalf("warm JSON hits re-encoded: %d -> %d", jsonEncodes, got)
+	}
+	if got := s.encCol.encodes.Load(); got != colEncodes {
+		t.Fatalf("warm columnar hits re-encoded: %d -> %d", colEncodes, got)
+	}
+
+	// The body fetch itself — the marshal step of a warm hit — is
+	// allocation-free once built.
+	var v any
+	var ok bool
+	for _, key := range cacheKeys(s) {
+		if v, ok = s.cache.Get(key); ok {
+			break
+		}
+	}
+	if !ok {
+		t.Fatal("no cached entry")
+	}
+	entry := v.(*sweepEntry)
+	if n := testing.AllocsPerRun(100, func() {
+		_ = s.body(entry, bodyJSONSweep, &s.encJSON, func() []byte {
+			t.Error("warm body rebuilt")
+			return nil
+		})
+	}); n != 0 {
+		t.Fatalf("warm body fetch allocates %.1f, want 0", n)
+	}
+}
+
+func cacheKeys(s *Server) []string {
+	s.cache.mu.Lock()
+	defer s.cache.mu.Unlock()
+	keys := make([]string, 0, len(s.cache.entries))
+	for k := range s.cache.entries {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// TestColumnarNegotiation: Accept: application/x-copernicus-col selects
+// the columnar slab on sweep and characterize; the decoded slab matches
+// the JSON rows exactly; NDJSON keeps precedence when both are listed.
+func TestColumnarNegotiation(t *testing.T) {
+	s, ts := newTestServer(t)
+	body := `{"matrix": "DW", "partitions": [8, 16]}`
+
+	resp, cold := sweepBody(t, ts.URL, body, wire.ContentType)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold columnar sweep: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != wire.ContentType {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	if c := resp.Header.Get(headerCached); c != "false" {
+		t.Fatalf("cold %s = %q", headerCached, c)
+	}
+	if m := resp.Header.Get(headerMatrix); m != "DW" {
+		t.Fatalf("%s = %q", headerMatrix, m)
+	}
+	rs, err := wire.Decode(cold)
+	if err != nil {
+		t.Fatalf("decode columnar body: %v", err)
+	}
+
+	respW, warm := sweepBody(t, ts.URL, body, wire.ContentType)
+	if c := respW.Header.Get(headerCached); c != "true" {
+		t.Fatalf("warm %s = %q", headerCached, c)
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Fatal("cold and warm columnar bodies differ")
+	}
+	if got := respW.Header.Get(headerRows); got != fmt.Sprint(len(rs)) {
+		t.Fatalf("%s = %q, want %d", headerRows, got, len(rs))
+	}
+
+	// The slab is the cached results, exactly.
+	var entry *sweepEntry
+	for _, key := range cacheKeys(s) {
+		if v, ok := s.cache.Get(key); ok {
+			entry = v.(*sweepEntry)
+		}
+	}
+	if entry == nil || !reflect.DeepEqual(rs, entry.results) {
+		t.Fatal("columnar slab does not reflect the cached results")
+	}
+
+	// Characterize negotiates too: one row.
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/characterize?matrix=DW&format=CSR&p=8", nil)
+	req.Header.Set("Accept", wire.ContentType)
+	cresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	craw, _ := io.ReadAll(cresp.Body)
+	cresp.Body.Close()
+	crs, err := wire.Decode(craw)
+	if err != nil || len(crs) != 1 {
+		t.Fatalf("characterize columnar: %d rows, err %v", len(crs), err)
+	}
+
+	// NDJSON precedence: a client listing both asked for streaming.
+	respN, rawN := sweepBody(t, ts.URL, body, "application/x-ndjson, "+wire.ContentType)
+	if ct := respN.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("NDJSON precedence lost: Content-Type %q", ct)
+	}
+	if lines := bytes.Count(bytes.TrimSpace(rawN), []byte("\n")) + 1; lines != len(rs) {
+		t.Fatalf("NDJSON rows = %d, want %d", lines, len(rs))
+	}
+}
+
+// TestColumnarCompression: the columnar slab must be at least 4x
+// smaller than the JSON body for a full-format sweep.
+func TestColumnarCompression(t *testing.T) {
+	_, ts := newTestServer(t)
+	names := make([]string, 0, formats.NumKinds)
+	for _, k := range formats.All() {
+		names = append(names, k.String())
+	}
+	body := fmt.Sprintf(`{"matrix": "DW", "formats": ["%s"], "partitions": [8, 16, 32]}`,
+		strings.Join(names, `", "`))
+	resp, col := sweepBody(t, ts.URL, body, wire.ContentType)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("columnar sweep: %d", resp.StatusCode)
+	}
+	respJ, js := sweepBody(t, ts.URL, body, "")
+	if respJ.StatusCode != http.StatusOK {
+		t.Fatalf("json sweep: %d", respJ.StatusCode)
+	}
+	if ratio := float64(len(js)) / float64(len(col)); ratio < 4 {
+		t.Fatalf("columnar body only %.1fx smaller than JSON (%d vs %d bytes), want >= 4x",
+			ratio, len(col), len(js))
+	}
+}
+
+// TestEncodingStatsAndResidency: /v1/stats exposes the per-content-type
+// counters, and deleting a matrix releases its entries' encoded bodies
+// from the resident-bytes gauge.
+func TestEncodingStatsAndResidency(t *testing.T) {
+	s, ts := newTestServer(t)
+	code, _ := doJSON(t, "POST", ts.URL+"/v1/matrices?name=enc-res",
+		strings.NewReader(mtxFixture(t, 11)))
+	if code != http.StatusCreated {
+		t.Fatalf("upload: %d", code)
+	}
+	var id string
+	{
+		_, list := doJSON(t, "GET", ts.URL+"/v1/matrices", nil)
+		for _, m := range list["matrices"].([]any) {
+			mm := m.(map[string]any)
+			if mm["name"] == "enc-res" {
+				id = mm["id"].(string)
+			}
+		}
+	}
+	if id == "" {
+		t.Fatal("uploaded matrix not listed")
+	}
+
+	body := fmt.Sprintf(`{"matrix": %q, "formats": ["CSR"], "partitions": [8]}`, id)
+	sweepBody(t, ts.URL, body, "")               // cold JSON
+	sweepBody(t, ts.URL, body, "")               // warm JSON -> resident body
+	sweepBody(t, ts.URL, body, wire.ContentType) // resident columnar body
+	if got := s.encResident.Load(); got <= 0 {
+		t.Fatalf("encoded-slab resident bytes = %d after warm hits, want > 0", got)
+	}
+
+	code, stats := doJSON(t, "GET", ts.URL+"/v1/stats", nil)
+	if code != http.StatusOK {
+		t.Fatalf("stats: %d", code)
+	}
+	enc, ok := stats["encoding"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats missing encoding section: %v", stats)
+	}
+	for _, ct := range []string{"json", "ndjson", "columnar"} {
+		sec, ok := enc[ct].(map[string]any)
+		if !ok {
+			t.Fatalf("encoding stats missing %q: %v", ct, enc)
+		}
+		for _, k := range []string{"responses", "bytes_served", "encodes", "encode_ns"} {
+			if _, ok := sec[k]; !ok {
+				t.Fatalf("encoding.%s missing %q", ct, k)
+			}
+		}
+	}
+	if enc["json"].(map[string]any)["encodes"].(float64) < 1 {
+		t.Fatal("json encode count not tallied")
+	}
+	if enc["encoded_cache_resident_bytes"].(float64) <= 0 {
+		t.Fatal("resident bytes not surfaced")
+	}
+
+	// Deleting the matrix invalidates its entries — and with them every
+	// resident encoded body.
+	resident := s.encResident.Load()
+	if code, _ := doJSON(t, "DELETE", ts.URL+"/v1/matrices/"+id, nil); code != http.StatusNoContent {
+		t.Fatalf("delete: %d", code)
+	}
+	if got := s.encResident.Load(); got >= resident {
+		t.Fatalf("delete did not release encoded bodies: %d -> %d", resident, got)
+	}
+}
+
+// TestJobResultColumnar: GET /v1/jobs/{id} negotiates the columnar slab
+// for a finished job's rows.
+func TestJobResultColumnar(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, resp := doJSON(t, "POST", ts.URL+"/v1/jobs/sweep",
+		strings.NewReader(`{"matrix": "DW", "formats": ["CSR", "ELL"], "partitions": [8]}`))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %v", code, resp)
+	}
+	id := resp["job"].(map[string]any)["id"].(string)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("job did not finish")
+		}
+		_, jr := doJSON(t, "GET", ts.URL+"/v1/jobs/"+id, nil)
+		if jr["job"].(map[string]any)["state"] == "done" {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/jobs/"+id, nil)
+	req.Header.Set("Accept", wire.ContentType)
+	r, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(r.Body)
+	r.Body.Close()
+	if ct := r.Header.Get("Content-Type"); ct != wire.ContentType {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	if got := r.Header.Get(headerJob); got != id {
+		t.Fatalf("%s = %q, want %q", headerJob, got, id)
+	}
+	rs, err := wire.Decode(raw)
+	if err != nil || len(rs) != 2 {
+		t.Fatalf("job columnar slab: %d rows, err %v", len(rs), err)
+	}
+}

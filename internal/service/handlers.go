@@ -20,6 +20,7 @@ import (
 	"copernicus/internal/matrix"
 	"copernicus/internal/mtx"
 	"copernicus/internal/scenario"
+	"copernicus/internal/wire"
 	"copernicus/internal/workloads"
 )
 
@@ -359,13 +360,19 @@ func (s *Server) sweepEpilogue(info MatrixInfo, m *matrix.CSR) error {
 // *leader's* compute produces it — the streaming path's incremental
 // feed. A caller that attached to another leader's flight (or hit the
 // cache) gets cached=true and must replay the returned slab itself.
-func (s *Server) runSweep(ctx context.Context, info MatrixInfo, b backend.Backend, sc scenario.Spec, kinds []formats.Kind, ps []int, onRow func(core.Result)) ([]core.Result, bool, error) {
+func (s *Server) runSweep(ctx context.Context, info MatrixInfo, b backend.Backend, sc scenario.Spec, kinds []formats.Kind, ps []int, onRow func(core.Result)) (*sweepEntry, bool, error) {
 	_, m, ok := s.reg.Lookup(info.ID)
 	if !ok {
 		return nil, false, fmt.Errorf("matrix %q: %w", info.ID, errMatrixDeleted)
 	}
 	v, cached, err := s.cache.Do(ctx, sweepKey(info.ID, b, sc, kinds, ps), func(fctx context.Context) (any, error) {
-		return s.computeSweep(fctx, info, m, b, sc, kinds, ps, onRow)
+		rs, err := s.computeSweep(fctx, info, m, b, sc, kinds, ps, onRow)
+		if err != nil {
+			return nil, err
+		}
+		// The cache stores the entry, not the raw slab: warm requests of
+		// each content type attach their pre-encoded response body to it.
+		return &sweepEntry{results: rs}, nil
 	})
 	s.noteBackend(b.ID(), cached && err == nil)
 	if err != nil {
@@ -374,7 +381,7 @@ func (s *Server) runSweep(ctx context.Context, info MatrixInfo, b backend.Backen
 	if err := s.sweepEpilogue(info, m); err != nil {
 		return nil, false, err
 	}
-	return v.([]core.Result), cached, nil
+	return v.(*sweepEntry), cached, nil
 }
 
 // sweepStatus maps a runSweep error to its HTTP status: losing a race
@@ -592,19 +599,62 @@ func (s *Server) serveSweep(w http.ResponseWriter, r *http.Request, matrixID str
 	ctx, cancel := s.computeCtx(r)
 	defer cancel()
 	if wantsNDJSON(r) {
+		// Streaming keeps precedence over the columnar batch body: a
+		// client listing both asked for incremental delivery.
 		s.streamSweep(ctx, w, info, b, sc, kinds, ps)
 		return
 	}
-	rs, cached, err := s.runSweep(ctx, info, b, sc, kinds, ps, nil)
+	entry, cached, err := s.runSweep(ctx, info, b, sc, kinds, ps, nil)
 	if err != nil {
 		writeErr(w, sweepStatus(err), "sweep: %v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"matrix":  info,
-		"cached":  cached,
-		"results": toResultsJSON(rs),
+	if wantsColumnar(r) {
+		s.writeColumnar(w, entry, cached, func(h http.Header) {
+			h.Set(headerMatrix, info.ID)
+		})
+		return
+	}
+	if cached {
+		// Warm hit: one write of the entry's immutable pre-encoded body —
+		// no marshal, no per-request allocation. The body embeds
+		// cached=true, which every warm response carries by definition.
+		body := s.body(entry, bodyJSONSweep, &s.encJSON, func() []byte {
+			return marshalJSONBody(sweepEnvelope(info, true, entry.results))
+		})
+		s.writeBody(w, "application/json", &s.encJSON, body, nil)
+		return
+	}
+	// Cold: the leader's one-and-only cached=false response; the body
+	// can never be reused, so marshal straight out (byte-identical to
+	// the warm encoder) without storing it.
+	s.writeJSONCounted(w, sweepEnvelope(info, false, entry.results))
+}
+
+// writeColumnar answers with an entry's columnar slab — encoded once
+// per entry, then served as immutable bytes. The JSON envelope's
+// metadata moves to response headers since the body is the raw slab.
+func (s *Server) writeColumnar(w http.ResponseWriter, entry *sweepEntry, cached bool, hdr func(http.Header)) {
+	body := s.body(entry, bodyColumnar, &s.encCol, func() []byte {
+		return wire.Encode(entry.results)
 	})
+	s.writeBody(w, wire.ContentType, &s.encCol, body, func(h http.Header) {
+		h.Set(headerCached, strconv.FormatBool(cached))
+		h.Set(headerRows, strconv.Itoa(len(entry.results)))
+		if hdr != nil {
+			hdr(h)
+		}
+	})
+}
+
+// writeJSONCounted is writeJSON plus the encoding counters — the cold
+// JSON path, where the encode is paid exactly once per cache entry.
+func (s *Server) writeJSONCounted(w http.ResponseWriter, v any) {
+	start := time.Now()
+	body := marshalJSONBody(v)
+	s.encJSON.encodes.Add(1)
+	s.encJSON.encodeNs.Add(time.Since(start).Nanoseconds())
+	s.writeBody(w, "application/json", &s.encJSON, body, nil)
 }
 
 // wantsNDJSON reports whether the request negotiated newline-delimited
@@ -629,14 +679,33 @@ func wantsNDJSON(r *http.Request) bool {
 func (s *Server) streamSweep(ctx context.Context, w http.ResponseWriter, info MatrixInfo, b backend.Backend, sc scenario.Spec, kinds []formats.Kind, ps []int) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
-	enc := json.NewEncoder(w)
+	s.encNDJSON.responses.Add(1)
+
+	// Rows are encoded into one pooled buffer reused for the stream's
+	// lifetime — the append encoder is byte-identical to encoding/json
+	// and allocates nothing per row (the old per-row path allocated a
+	// resultJSON box plus encoder scratch for every line).
+	bufp := rowBufPool.Get().(*[]byte)
+	var encNs int64
+	defer func() {
+		s.encNDJSON.encodeNs.Add(encNs)
+		*bufp = (*bufp)[:0]
+		rowBufPool.Put(bufp)
+	}()
+
 	emitted := 0
 	emitDead := false
 	emit := func(r core.Result) {
 		if emitDead {
 			return
 		}
-		if err := enc.Encode(toResultJSON(r)); err != nil {
+		start := time.Now()
+		*bufp = appendResultNDJSON((*bufp)[:0], r)
+		encNs += time.Since(start).Nanoseconds()
+		s.encNDJSON.encodes.Add(1)
+		n, err := w.Write(*bufp)
+		s.encNDJSON.bytes.Add(int64(n))
+		if err != nil {
 			// This client is gone; keep computing silently — as the
 			// singleflight leader the slab still serves attached callers
 			// and warms the cache.
@@ -652,13 +721,13 @@ func (s *Server) streamSweep(ctx context.Context, w http.ResponseWriter, info Ma
 	key := sweepKey(info.ID, b, sc, kinds, ps)
 	if v, ok := s.cache.Get(key); ok {
 		s.noteBackend(b.ID(), true)
-		for _, r := range v.([]core.Result) {
+		for _, r := range v.(*sweepEntry).results {
 			emit(r)
 		}
 		return
 	}
 
-	rs, cached, err := s.runSweep(ctx, info, b, sc, kinds, ps, emit)
+	entry, cached, err := s.runSweep(ctx, info, b, sc, kinds, ps, emit)
 	if err != nil {
 		if emitted == 0 {
 			// Nothing on the wire yet: a real status line (404/400/503)
@@ -666,14 +735,14 @@ func (s *Server) streamSweep(ctx context.Context, w http.ResponseWriter, info Ma
 			writeErr(w, sweepStatus(err), "sweep: %v", err)
 			return
 		}
-		_ = enc.Encode(map[string]string{"error": fmt.Sprintf("sweep: %v", err)})
+		_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf("sweep: %v", err)})
 		return
 	}
 	if cached {
 		// We attached to another caller's in-flight sweep (or raced a
 		// fresh cache insert): our emit never saw the leader's rows, so
 		// replay the slab.
-		for _, r := range rs {
+		for _, r := range entry.results {
 			emit(r)
 		}
 	}
@@ -726,16 +795,28 @@ func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.computeCtx(r)
 	defer cancel()
-	rs, cached, err := s.runSweep(ctx, info, b, sc, kinds, ps, nil)
+	entry, cached, err := s.runSweep(ctx, info, b, sc, kinds, ps, nil)
 	if err != nil {
 		writeErr(w, sweepStatus(err), "characterize: %v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"matrix": info,
-		"cached": cached,
-		"result": toResultJSON(rs[0]),
-	})
+	if wantsColumnar(r) {
+		s.writeColumnar(w, entry, cached, func(h http.Header) {
+			h.Set(headerMatrix, info.ID)
+		})
+		return
+	}
+	if cached {
+		// Characterize shares cache keys with one-point sweeps but
+		// answers a different envelope — a distinct body slot keeps the
+		// two warm bodies from colliding on one entry.
+		body := s.body(entry, bodyJSONCharacterize, &s.encJSON, func() []byte {
+			return marshalJSONBody(characterizeEnvelope(info, true, entry.results[0]))
+		})
+		s.writeBody(w, "application/json", &s.encJSON, body, nil)
+		return
+	}
+	s.writeJSONCounted(w, characterizeEnvelope(info, false, entry.results[0]))
 }
 
 // handleAdvise recommends the best format for a (matrix, p) point:
@@ -791,12 +872,12 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.computeCtx(r)
 	defer cancel()
-	rs, cached, err := s.runSweep(ctx, info, b, sc, formats.Sparse(), ps, nil)
+	entry, cached, err := s.runSweep(ctx, info, b, sc, formats.Sparse(), ps, nil)
 	if err != nil {
 		writeErr(w, sweepStatus(err), "advise: %v", err)
 		return
 	}
-	rec, err := core.Rank(rs, obj)
+	rec, err := core.Rank(entry.results, obj)
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, "advise: %v", err)
 		return
@@ -830,6 +911,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"engine_plans": s.engine.PlanStats(),
 		"sweep_cache":  s.cache.Stats(),
 		"backends":     s.backendStats(),
+		"encoding":     s.encodingStats(),
 		"failures": map[string]any{
 			"handler_panics": s.panics.Load(),
 			"jobs":           s.jobs.Stats(),

@@ -6,6 +6,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"time"
 
 	"copernicus/internal/backend"
 	"copernicus/internal/core"
@@ -13,6 +15,7 @@ import (
 	"copernicus/internal/jobs"
 	"copernicus/internal/matrix"
 	"copernicus/internal/scenario"
+	"copernicus/internal/wire"
 	"copernicus/internal/workloads"
 )
 
@@ -102,7 +105,7 @@ func (s *Server) sweepTask(info MatrixInfo, m *matrix.CSR, b backend.Backend, sc
 			s.engine.DropPlansFor(m)
 			return nil, fmt.Errorf("matrix %q: %w", info.ID, errMatrixDeleted)
 		}
-		s.cache.Add(key, collected)
+		s.cache.Add(key, &sweepEntry{results: collected})
 		s.noteBackend(b.ID(), false)
 		if err := s.sweepEpilogue(info, m); err != nil {
 			return nil, err
@@ -128,6 +131,20 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	resp := map[string]any{"job": ji}
 	if ji.State == jobs.StateDone {
 		if rs, ok := res.([]core.Result); ok {
+			if wantsColumnar(r) {
+				// A finished job's rows as the raw columnar slab; the job
+				// record moves to a header. Encoded per request — job
+				// results live in the job store, not the sweep LRU.
+				start := time.Now()
+				body := wire.Encode(rs)
+				s.encCol.encodes.Add(1)
+				s.encCol.encodeNs.Add(time.Since(start).Nanoseconds())
+				s.writeBody(w, wire.ContentType, &s.encCol, body, func(h http.Header) {
+					h.Set(headerJob, ji.ID)
+					h.Set(headerRows, strconv.Itoa(len(rs)))
+				})
+				return
+			}
 			resp["results"] = toResultsJSON(rs)
 		}
 	}

@@ -120,6 +120,16 @@ type Server struct {
 	// panics counts handler panics recovered by the middleware — each
 	// one answered 500 instead of killing the process.
 	panics atomic.Uint64
+
+	// encJSON/encNDJSON/encCol tally serving traffic per content type
+	// (responses, bytes, encodes, encode time); encResident gauges the
+	// bytes currently held by cached pre-encoded response bodies — it
+	// rises as warm entries build their slabs and falls when the result
+	// cache evicts or invalidates them (see encoding.go).
+	encJSON     encCounter
+	encNDJSON   encCounter
+	encCol      encCounter
+	encResident atomic.Int64
 }
 
 // BackendStats is the per-backend slice of sweep-cache traffic: Hits are
@@ -174,6 +184,14 @@ func New(o Options) *Server {
 		baseCtx: baseCtx,
 		stop:    stop,
 		bstats:  map[string]*BackendStats{},
+	}
+	// Entries leaving the cache release their pre-encoded bodies from
+	// the resident-bytes gauge (called with the cache lock held; drop
+	// only takes the entry's own lock).
+	s.cache.onEvict = func(_ string, val any) {
+		if e, ok := val.(*sweepEntry); ok {
+			e.drop(&s.encResident)
+		}
 	}
 	s.jobs.SetRetries(jobs.Retries{
 		Max:       o.JobRetries,

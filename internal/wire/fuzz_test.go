@@ -1,0 +1,45 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"copernicus/internal/core"
+)
+
+// FuzzDecode: Decode must never panic on arbitrary bytes, and any input
+// it accepts must re-encode deterministically — Encode(Decode(x)) must
+// itself decode to the same slab. (The re-encoded bytes are compared
+// instead of the structs because arbitrary float bits can be NaN, which
+// reflect.DeepEqual rejects by design.)
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("CPWF"))
+	f.Add(Encode(nil))
+	valid := Encode(goldenResults())
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(append(append([]byte(nil), valid...), 0))
+	mut := append([]byte(nil), valid...)
+	mut[len(mut)/3] ^= 0x41
+	f.Add(mut)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rs, err := Decode(data)
+		if err != nil {
+			return
+		}
+		re := Encode(rs)
+		re2 := Encode(mustDecode(t, re))
+		if !bytes.Equal(re, re2) {
+			t.Fatalf("accepted input does not re-encode to a fixed point")
+		}
+	})
+}
+
+func mustDecode(t *testing.T, b []byte) []core.Result {
+	rs, err := Decode(b)
+	if err != nil {
+		t.Fatalf("re-encoded slab failed to decode: %v", err)
+	}
+	return rs
+}

@@ -1,0 +1,376 @@
+// Package wire implements the service's compact columnar encoding of
+// characterization result sets — the zero-marshal body negotiated with
+// Accept: application/x-copernicus-col.
+//
+// # Layout (version 1)
+//
+// A slab is column-major: every field of core.Result is stored as one
+// contiguous column across all rows, so repeated structure (the same
+// workload ID on 24 rows, the same backend on all of them) compresses
+// into interned string-table references and one-byte varints instead of
+// repeating JSON keys and quoted strings per row.
+//
+//	magic    4 bytes          "CPWF"
+//	version  uvarint          1
+//	rows     uvarint          row count
+//	table    uvarint count,   interned strings, first-appearance order
+//	         then per string: (column-major scan over the four string
+//	         uvarint len +    columns: workload, kernel, backend,
+//	         raw bytes        degraded_reason)
+//	columns  fixed order, see below
+//	crc      4 bytes LE       IEEE CRC-32 of everything before it
+//
+// Column order follows core.Result field order. String columns are one
+// uvarint table index per row; int columns are zigzag varints (any Go
+// int round-trips, negatives included); bool columns are packed bitsets
+// (row i at byte i/8, bit i%8); float64 columns are 8·rows bytes of
+// little-endian IEEE 754 bits (exact — NaN payloads and signed zeros
+// survive).
+//
+//	workload(str) format(int) p(int) kernel(str) iterations(int)
+//	backend(str) measured(bool) measured_runs(int) threads(int)
+//	degraded(bool) degraded_reason(str)
+//	sigma balance_ratio mean_mem_cycles mean_compute_cycles seconds
+//	throughput_bps ns_per_nnz bandwidth_util dot_engine_util
+//	inner_pipeline_util (floats)
+//	nonzero_tiles total_tiles total_bytes (ints)
+//	synth.format synth.p synth.bram18k synth.ff synth.lut (ints)
+//	synth.logic_mw synth.bram_mw synth.signals_mw synth.clock_mw
+//	synth.dynamic_w synth.static_w dynamic_energy_j static_energy_j
+//	(floats)
+//
+// # Stability contract
+//
+// The layout above is frozen for version 1: any change to the column
+// set, column order, or primitive encodings requires incrementing
+// Version, and decoders reject versions they do not know. Adding a
+// field to core.Result therefore forces a deliberate version bump here
+// (the golden-fixture test catches accidental drift). Decode(Encode(rs))
+// is exactly equal (reflect.DeepEqual) for every non-empty result set;
+// an empty or nil set encodes as rows=0 and decodes as nil.
+//
+// Decode never panics on arbitrary input: every read is bounds-checked,
+// the CRC is verified before any column is parsed, and row/table counts
+// are sanity-bounded against the input length before allocation.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"copernicus/internal/core"
+	"copernicus/internal/formats"
+)
+
+// ContentType is the MIME type the service negotiates for columnar
+// bodies.
+const ContentType = "application/x-copernicus-col"
+
+// Version is the current layout version; Decode rejects others.
+const Version = 1
+
+var magic = [4]byte{'C', 'P', 'W', 'F'}
+
+// ErrCorrupt wraps every Decode failure: short input, bad magic, CRC
+// mismatch, unknown version, or inconsistent counts.
+var ErrCorrupt = errors.New("wire: corrupt columnar slab")
+
+// floatCols is the number of float64 columns per row; with the int and
+// string columns' one-byte minimum it bounds how many rows a slab of a
+// given length can possibly hold (decode-time allocation sanity check).
+const floatCols = 17
+
+// minRowBytes is the smallest possible wire footprint of one row.
+const minRowBytes = floatCols*8 + 13 // 13 varint columns at 1 byte each
+
+// Encode serializes a result slab into the version-1 columnar layout.
+// The returned slice is freshly allocated and safe to retain.
+func Encode(rs []core.Result) []byte {
+	// Intern the string columns in the documented column-major order so
+	// the table (and therefore the whole slab) is deterministic.
+	idx := make(map[string]uint64, 8)
+	var table []string
+	intern := func(s string) {
+		if _, ok := idx[s]; !ok {
+			idx[s] = uint64(len(table))
+			table = append(table, s)
+		}
+	}
+	tableBytes := 0
+	for i := range rs {
+		intern(rs[i].Workload)
+	}
+	for i := range rs {
+		intern(rs[i].Kernel)
+	}
+	for i := range rs {
+		intern(rs[i].Backend)
+	}
+	for i := range rs {
+		intern(rs[i].DegradedReason)
+	}
+	for _, s := range table {
+		tableBytes += len(s) + binary.MaxVarintLen64
+	}
+
+	b := make([]byte, 0, 32+tableBytes+len(rs)*(floatCols*8+13*2)+8)
+	b = append(b, magic[:]...)
+	b = binary.AppendUvarint(b, Version)
+	b = binary.AppendUvarint(b, uint64(len(rs)))
+	b = binary.AppendUvarint(b, uint64(len(table)))
+	for _, s := range table {
+		b = binary.AppendUvarint(b, uint64(len(s)))
+		b = append(b, s...)
+	}
+
+	strCol := func(get func(*core.Result) string) {
+		for i := range rs {
+			b = binary.AppendUvarint(b, idx[get(&rs[i])])
+		}
+	}
+	intCol := func(get func(*core.Result) int) {
+		for i := range rs {
+			v := int64(get(&rs[i]))
+			b = binary.AppendUvarint(b, uint64(v<<1)^uint64(v>>63))
+		}
+	}
+	boolCol := func(get func(*core.Result) bool) {
+		start := len(b)
+		b = append(b, make([]byte, (len(rs)+7)/8)...)
+		for i := range rs {
+			if get(&rs[i]) {
+				b[start+i/8] |= 1 << (i % 8)
+			}
+		}
+	}
+	floatCol := func(get func(*core.Result) float64) {
+		for i := range rs {
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(get(&rs[i])))
+		}
+	}
+
+	strCol(func(r *core.Result) string { return r.Workload })
+	intCol(func(r *core.Result) int { return int(r.Format) })
+	intCol(func(r *core.Result) int { return r.P })
+	strCol(func(r *core.Result) string { return r.Kernel })
+	intCol(func(r *core.Result) int { return r.Iterations })
+	strCol(func(r *core.Result) string { return r.Backend })
+	boolCol(func(r *core.Result) bool { return r.Measured })
+	intCol(func(r *core.Result) int { return r.MeasuredRuns })
+	intCol(func(r *core.Result) int { return r.Threads })
+	boolCol(func(r *core.Result) bool { return r.Degraded })
+	strCol(func(r *core.Result) string { return r.DegradedReason })
+	floatCol(func(r *core.Result) float64 { return r.Sigma })
+	floatCol(func(r *core.Result) float64 { return r.BalanceRatio })
+	floatCol(func(r *core.Result) float64 { return r.MeanMemCycles })
+	floatCol(func(r *core.Result) float64 { return r.MeanComputeCycles })
+	floatCol(func(r *core.Result) float64 { return r.Seconds })
+	floatCol(func(r *core.Result) float64 { return r.ThroughputBps })
+	floatCol(func(r *core.Result) float64 { return r.NsPerNNZ })
+	floatCol(func(r *core.Result) float64 { return r.BandwidthUtil })
+	floatCol(func(r *core.Result) float64 { return r.DotEngineUtil })
+	floatCol(func(r *core.Result) float64 { return r.InnerPipelineUtil })
+	intCol(func(r *core.Result) int { return r.NonZeroTiles })
+	intCol(func(r *core.Result) int { return r.TotalTiles })
+	intCol(func(r *core.Result) int { return r.TotalBytes })
+	intCol(func(r *core.Result) int { return int(r.Synth.Format) })
+	intCol(func(r *core.Result) int { return r.Synth.P })
+	intCol(func(r *core.Result) int { return r.Synth.BRAM18K })
+	intCol(func(r *core.Result) int { return r.Synth.FF })
+	intCol(func(r *core.Result) int { return r.Synth.LUT })
+	floatCol(func(r *core.Result) float64 { return r.Synth.LogicMW })
+	floatCol(func(r *core.Result) float64 { return r.Synth.BRAMMW })
+	floatCol(func(r *core.Result) float64 { return r.Synth.SignalsMW })
+	floatCol(func(r *core.Result) float64 { return r.Synth.ClockMW })
+	floatCol(func(r *core.Result) float64 { return r.Synth.DynamicW })
+	floatCol(func(r *core.Result) float64 { return r.Synth.StaticW })
+	floatCol(func(r *core.Result) float64 { return r.DynamicEnergyJ })
+	floatCol(func(r *core.Result) float64 { return r.StaticEnergyJ })
+
+	return binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
+}
+
+// reader is a bounds-checked cursor over the payload (CRC stripped).
+type reader struct {
+	data []byte
+	off  int
+}
+
+func (r *reader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.data[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: truncated varint at offset %d", ErrCorrupt, r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *reader) varint() (int, error) {
+	u, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	return int(int64(u>>1) ^ -int64(u&1)), nil
+}
+
+func (r *reader) bytes(n int) ([]byte, error) {
+	if n < 0 || n > len(r.data)-r.off {
+		return nil, fmt.Errorf("%w: %d bytes wanted at offset %d, %d remain", ErrCorrupt, n, r.off, len(r.data)-r.off)
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+// Decode parses a version-1 columnar slab back into a result slab. It
+// verifies the CRC before parsing, bounds-checks every read, and never
+// panics on malformed input. A rows=0 slab decodes as nil.
+func Decode(data []byte) ([]core.Result, error) {
+	if len(data) < len(magic)+3+4 {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than the minimal slab", ErrCorrupt, len(data))
+	}
+	if [4]byte(data[:4]) != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, data[:4])
+	}
+	payload, trailer := data[:len(data)-4], data[len(data)-4:]
+	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(trailer); got != want {
+		return nil, fmt.Errorf("%w: CRC mismatch (computed %08x, stored %08x)", ErrCorrupt, got, want)
+	}
+	r := &reader{data: payload, off: len(magic)}
+
+	version, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if version != Version {
+		return nil, fmt.Errorf("%w: unknown version %d (decoder knows %d)", ErrCorrupt, version, Version)
+	}
+	rows64, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if rows64 > uint64(len(payload))/minRowBytes {
+		return nil, fmt.Errorf("%w: %d rows cannot fit in %d bytes", ErrCorrupt, rows64, len(payload))
+	}
+	n := int(rows64)
+
+	tcount, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if tcount > uint64(len(payload)-r.off) {
+		return nil, fmt.Errorf("%w: %d table strings cannot fit in %d bytes", ErrCorrupt, tcount, len(payload)-r.off)
+	}
+	table := make([]string, tcount)
+	for i := range table {
+		slen, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		raw, err := r.bytes(int(slen))
+		if err != nil {
+			return nil, err
+		}
+		table[i] = string(raw)
+	}
+
+	rs := make([]core.Result, n)
+	strCol := func(set func(*core.Result, string)) error {
+		for i := range rs {
+			idx, err := r.uvarint()
+			if err != nil {
+				return err
+			}
+			if idx >= uint64(len(table)) {
+				return fmt.Errorf("%w: string index %d outside table of %d", ErrCorrupt, idx, len(table))
+			}
+			set(&rs[i], table[idx])
+		}
+		return nil
+	}
+	intCol := func(set func(*core.Result, int)) error {
+		for i := range rs {
+			v, err := r.varint()
+			if err != nil {
+				return err
+			}
+			set(&rs[i], v)
+		}
+		return nil
+	}
+	boolCol := func(set func(*core.Result, bool)) error {
+		bits, err := r.bytes((n + 7) / 8)
+		if err != nil {
+			return err
+		}
+		for i := range rs {
+			set(&rs[i], bits[i/8]&(1<<(i%8)) != 0)
+		}
+		return nil
+	}
+	floatCol := func(set func(*core.Result, float64)) error {
+		raw, err := r.bytes(8 * n)
+		if err != nil {
+			return err
+		}
+		for i := range rs {
+			set(&rs[i], math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:])))
+		}
+		return nil
+	}
+
+	cols := []func() error{
+		func() error { return strCol(func(r *core.Result, s string) { r.Workload = s }) },
+		func() error { return intCol(func(r *core.Result, v int) { r.Format = formats.Kind(v) }) },
+		func() error { return intCol(func(r *core.Result, v int) { r.P = v }) },
+		func() error { return strCol(func(r *core.Result, s string) { r.Kernel = s }) },
+		func() error { return intCol(func(r *core.Result, v int) { r.Iterations = v }) },
+		func() error { return strCol(func(r *core.Result, s string) { r.Backend = s }) },
+		func() error { return boolCol(func(r *core.Result, v bool) { r.Measured = v }) },
+		func() error { return intCol(func(r *core.Result, v int) { r.MeasuredRuns = v }) },
+		func() error { return intCol(func(r *core.Result, v int) { r.Threads = v }) },
+		func() error { return boolCol(func(r *core.Result, v bool) { r.Degraded = v }) },
+		func() error { return strCol(func(r *core.Result, s string) { r.DegradedReason = s }) },
+		func() error { return floatCol(func(r *core.Result, v float64) { r.Sigma = v }) },
+		func() error { return floatCol(func(r *core.Result, v float64) { r.BalanceRatio = v }) },
+		func() error { return floatCol(func(r *core.Result, v float64) { r.MeanMemCycles = v }) },
+		func() error { return floatCol(func(r *core.Result, v float64) { r.MeanComputeCycles = v }) },
+		func() error { return floatCol(func(r *core.Result, v float64) { r.Seconds = v }) },
+		func() error { return floatCol(func(r *core.Result, v float64) { r.ThroughputBps = v }) },
+		func() error { return floatCol(func(r *core.Result, v float64) { r.NsPerNNZ = v }) },
+		func() error { return floatCol(func(r *core.Result, v float64) { r.BandwidthUtil = v }) },
+		func() error { return floatCol(func(r *core.Result, v float64) { r.DotEngineUtil = v }) },
+		func() error { return floatCol(func(r *core.Result, v float64) { r.InnerPipelineUtil = v }) },
+		func() error { return intCol(func(r *core.Result, v int) { r.NonZeroTiles = v }) },
+		func() error { return intCol(func(r *core.Result, v int) { r.TotalTiles = v }) },
+		func() error { return intCol(func(r *core.Result, v int) { r.TotalBytes = v }) },
+		func() error { return intCol(func(r *core.Result, v int) { r.Synth.Format = formats.Kind(v) }) },
+		func() error { return intCol(func(r *core.Result, v int) { r.Synth.P = v }) },
+		func() error { return intCol(func(r *core.Result, v int) { r.Synth.BRAM18K = v }) },
+		func() error { return intCol(func(r *core.Result, v int) { r.Synth.FF = v }) },
+		func() error { return intCol(func(r *core.Result, v int) { r.Synth.LUT = v }) },
+		func() error { return floatCol(func(r *core.Result, v float64) { r.Synth.LogicMW = v }) },
+		func() error { return floatCol(func(r *core.Result, v float64) { r.Synth.BRAMMW = v }) },
+		func() error { return floatCol(func(r *core.Result, v float64) { r.Synth.SignalsMW = v }) },
+		func() error { return floatCol(func(r *core.Result, v float64) { r.Synth.ClockMW = v }) },
+		func() error { return floatCol(func(r *core.Result, v float64) { r.Synth.DynamicW = v }) },
+		func() error { return floatCol(func(r *core.Result, v float64) { r.Synth.StaticW = v }) },
+		func() error { return floatCol(func(r *core.Result, v float64) { r.DynamicEnergyJ = v }) },
+		func() error { return floatCol(func(r *core.Result, v float64) { r.StaticEnergyJ = v }) },
+	}
+	for _, col := range cols {
+		if err := col(); err != nil {
+			return nil, err
+		}
+	}
+	if r.off != len(payload) {
+		return nil, fmt.Errorf("%w: %d trailing payload bytes", ErrCorrupt, len(payload)-r.off)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	return rs, nil
+}
