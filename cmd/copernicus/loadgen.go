@@ -29,6 +29,17 @@ type loadgenConfig struct {
 	out      string        // JSON report path ("" = BENCH_loadgen.json)
 	strict   bool          // non-zero exit on errors or zero completed requests
 	wait     time.Duration // wait for the server to answer /v1/healthz first
+	cluster  bool          // drive the cluster deck and record the run as "cluster"
+}
+
+// runName keys this run's entry in the report's runs list: re-running
+// the same deck replaces its entry, so BENCH_loadgen.json holds one
+// "default" run and one "cluster" run side by side.
+func (c loadgenConfig) runName() string {
+	if c.cluster {
+		return "cluster"
+	}
+	return "default"
 }
 
 func (c loadgenConfig) withDefaults() loadgenConfig {
@@ -101,8 +112,45 @@ func loadgenDeck() []lgScenario {
 		{"characterize_warm_json", 4, get("/v1/characterize?matrix=%s&format=CSR&p=8", "")},
 		{"characterize_warm_col", 4, get("/v1/characterize?matrix=%s&format=CSR&p=8", wire.ContentType)},
 		{"advise_warm_json", 2, get("/v1/advise?matrix=%s&p=8", "")},
+		{"advise_warm_col", 2, get("/v1/advise?matrix=%s&p=8", wire.ContentType)},
 		{"sweep_cold_json", 1, sweep("", true)},
 		{"sweep_cold_col", 1, sweep(wire.ContentType, true)},
+	}
+}
+
+// lgRotation is the matrix set the cluster deck cycles through, so a
+// coordinator's consistent-hash ring spreads groups over every worker
+// instead of hammering one shard.
+var lgRotation = []string{"DW", "FR", "RE", "AM"}
+
+// clusterDeck is the -cluster scenario mix: sweep-heavy with rotating
+// matrices, the shape that shows fleet scaling — warm sweeps measure
+// fan-out + merge overhead against the single-node run's same
+// scenarios, cold sweeps keep every worker computing.
+func clusterDeck() []lgScenario {
+	rotate := func(build func(uint64, string, string) (*http.Request, error)) func(uint64, string, string) (*http.Request, error) {
+		return func(seq uint64, base, _ string) (*http.Request, error) {
+			return build(seq, base, lgRotation[seq%uint64(len(lgRotation))])
+		}
+	}
+	var warmJSON, warmCol, coldCol, adviseCol func(uint64, string, string) (*http.Request, error)
+	for _, sc := range loadgenDeck() {
+		switch sc.name {
+		case "sweep_warm_json":
+			warmJSON = sc.build
+		case "sweep_warm_col":
+			warmCol = sc.build
+		case "sweep_cold_col":
+			coldCol = sc.build
+		case "advise_warm_col":
+			adviseCol = sc.build
+		}
+	}
+	return []lgScenario{
+		{"sweep_warm_col", 8, rotate(warmCol)},
+		{"sweep_warm_json", 4, rotate(warmJSON)},
+		{"sweep_cold_col", 2, rotate(coldCol)},
+		{"advise_warm_col", 2, rotate(adviseCol)},
 	}
 }
 
@@ -137,8 +185,9 @@ type lgScenarioReport struct {
 	P99Ms       float64 `json:"p99_ms"`
 }
 
-// lgReport is the full BENCH_loadgen.json record.
+// lgReport is one run's record in BENCH_loadgen.json.
 type lgReport struct {
+	Name        string             `json:"name"`
 	Target      string             `json:"target"`
 	TargetRPS   float64            `json:"target_rps"`
 	DurationS   float64            `json:"duration_s"`
@@ -147,6 +196,14 @@ type lgReport struct {
 	Errors      int64              `json:"errors"`
 	Dropped     int64              `json:"dropped"`
 	Scenarios   []lgScenarioReport `json:"scenarios"`
+}
+
+// lgFile is the whole BENCH_loadgen.json: one entry per named run, so
+// the single-node "default" run and the fleet "cluster" run sit side
+// by side for scaling comparison. loadgenCmd replaces the same-named
+// run and preserves the others.
+type lgFile struct {
+	Runs []lgReport `json:"runs"`
 }
 
 func percentileMs(sorted []time.Duration, q float64) float64 {
@@ -205,6 +262,9 @@ func runLoadgen(ctx context.Context, c loadgenConfig) (*lgReport, error) {
 	}
 
 	deck := loadgenDeck()
+	if c.cluster {
+		deck = clusterDeck()
+	}
 	// Fixed weighted schedule: scenario i appears weight[i] times per
 	// cycle, interleaved by repeating the deck expansion.
 	var schedule []int
@@ -268,6 +328,7 @@ func runLoadgen(ctx context.Context, c loadgenConfig) (*lgReport, error) {
 	elapsed := time.Since(start)
 
 	rep := &lgReport{
+		Name:      c.runName(),
 		Target:    c.target,
 		TargetRPS: c.rps,
 		DurationS: elapsed.Seconds(),
@@ -317,14 +378,34 @@ func loadgenCmd(ctx context.Context, c loadgenConfig) error {
 			sc.Name, sc.Requests, sc.Errors, sc.BytesPerReq, sc.P50Ms, sc.P95Ms, sc.P99Ms)
 	}
 
-	blob, err := json.MarshalIndent(rep, "", "  ")
+	// Merge into the runs file: replace this run's previous entry (by
+	// name), keep the rest — a fresh cluster run never clobbers the
+	// single-node baseline it is compared against.
+	var file lgFile
+	if prev, err := os.ReadFile(c.out); err == nil {
+		if err := json.Unmarshal(prev, &file); err != nil {
+			file = lgFile{} // pre-runs-schema or corrupt: start over
+		}
+	}
+	replaced := false
+	for i := range file.Runs {
+		if file.Runs[i].Name == rep.Name {
+			file.Runs[i] = *rep
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		file.Runs = append(file.Runs, *rep)
+	}
+	blob, err := json.MarshalIndent(file, "", "  ")
 	if err != nil {
 		return err
 	}
 	if err := os.WriteFile(c.out, append(blob, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s\n", c.out)
+	fmt.Printf("wrote %s (run %q)\n", c.out, rep.Name)
 
 	if c.strict {
 		switch {

@@ -3,9 +3,11 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"io"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 )
@@ -15,7 +17,10 @@ import (
 // requests without errors, and the JSON report must land on disk with
 // populated percentiles.
 func TestLoadgenAgainstLiveServer(t *testing.T) {
-	svc, hs := buildServe(serveConfig{scale: 64})
+	svc, hs, err := buildServe(serveConfig{scale: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(hs.Handler)
 	defer ts.Close()
 	defer svc.Shutdown()
@@ -23,7 +28,7 @@ func TestLoadgenAgainstLiveServer(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "BENCH_loadgen.json")
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
-	err := loadgenCmd(ctx, loadgenConfig{
+	err = loadgenCmd(ctx, loadgenConfig{
 		target:   ts.URL,
 		rps:      200,
 		duration: 3 * time.Second,
@@ -41,10 +46,14 @@ func TestLoadgenAgainstLiveServer(t *testing.T) {
 	if err != nil {
 		t.Fatalf("report not written: %v", err)
 	}
-	var rep lgReport
-	if err := json.Unmarshal(blob, &rep); err != nil {
+	var file lgFile
+	if err := json.Unmarshal(blob, &file); err != nil {
 		t.Fatalf("report is not valid JSON: %v", err)
 	}
+	if len(file.Runs) != 1 || file.Runs[0].Name != "default" {
+		t.Fatalf("want a single \"default\" run, got %d runs", len(file.Runs))
+	}
+	rep := file.Runs[0]
 	if rep.Completed == 0 || rep.AchievedRPS <= 0 {
 		t.Fatalf("idle run: %+v", rep)
 	}
@@ -63,10 +72,48 @@ func TestLoadgenAgainstLiveServer(t *testing.T) {
 	}
 	for _, want := range []string{
 		"sweep_warm_json", "sweep_warm_col", "characterize_warm_json",
-		"characterize_warm_col", "advise_warm_json", "sweep_cold_json", "sweep_cold_col",
+		"characterize_warm_col", "advise_warm_json", "advise_warm_col",
+		"sweep_cold_json", "sweep_cold_col",
 	} {
 		if !names[want] {
 			t.Fatalf("deck missing scenario %q", want)
+		}
+	}
+}
+
+// TestLoadgenClusterDeck: the -cluster deck rotates matrices across the
+// fixed set (spreading groups over a coordinator's hash ring) and its
+// requests build cleanly.
+func TestLoadgenClusterDeck(t *testing.T) {
+	deck := clusterDeck()
+	if len(deck) == 0 {
+		t.Fatal("empty cluster deck")
+	}
+	seen := map[string]bool{}
+	for _, sc := range deck {
+		for seq := uint64(0); seq < uint64(len(lgRotation)); seq++ {
+			req, err := sc.build(seq, "http://h", "IGNORED")
+			if err != nil {
+				t.Fatalf("%s seq %d: %v", sc.name, seq, err)
+			}
+			want := lgRotation[seq%uint64(len(lgRotation))]
+			u := req.URL.String()
+			if req.Body != nil {
+				b, _ := io.ReadAll(req.Body)
+				u += string(b)
+			}
+			if !strings.Contains(u, want) {
+				t.Fatalf("%s seq %d: request %q does not rotate to matrix %s", sc.name, seq, u, want)
+			}
+			if strings.Contains(u, "IGNORED") {
+				t.Fatalf("%s seq %d: cluster deck must ignore the -matrix flag", sc.name, seq)
+			}
+		}
+		seen[sc.name] = true
+	}
+	for _, want := range []string{"sweep_warm_col", "sweep_warm_json", "sweep_cold_col", "advise_warm_col"} {
+		if !seen[want] {
+			t.Fatalf("cluster deck missing %q", want)
 		}
 	}
 }

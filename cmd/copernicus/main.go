@@ -86,7 +86,9 @@ func run(args []string) error {
 	formatsList := fs.String("formats", "", "comma-separated formats (sweep; default core set)")
 	psList := fs.String("ps", "8,16,32", "comma-separated partition sizes (sweep)")
 	addr := fs.String("addr", "localhost:8459", "listen address (serve)")
-	workers := fs.Int("workers", 0, "sweep worker-pool size, 0 = GOMAXPROCS (serve)")
+	workersFlag := fs.String("workers", "", "serve: sweep worker-pool size, empty = GOMAXPROCS; with -coordinator, the comma-separated worker host:port fleet")
+	coordinator := fs.Bool("coordinator", false, "serve: run as a cluster coordinator fanning sweeps out over the -workers fleet")
+	workersFile := fs.String("workers-file", "", "serve -coordinator: static fleet config, one worker host:port per line (#-comments and blanks ignored)")
 	cacheEntries := fs.Int("cache", 256, "sweep result cache entries (serve)")
 	readTimeout := fs.Duration("read-timeout", 0, "serve: max time to read a request, 0 = 30s default, negative = unlimited")
 	writeTimeout := fs.Duration("write-timeout", 0, "serve: max time to write a response, 0 = unlimited (NDJSON/SSE streams must not be cut)")
@@ -101,6 +103,7 @@ func run(args []string) error {
 	lgMatrix := fs.String("matrix", "DW", "matrix ID the warm scenarios hit (loadgen)")
 	lgStrict := fs.Bool("strict", false, "exit non-zero on any failed request or an idle run (loadgen)")
 	lgWait := fs.Duration("wait-ready", 15*time.Second, "how long to wait for the server to answer healthz (loadgen)")
+	lgCluster := fs.Bool("cluster", false, "loadgen: drive the sweep-heavy rotating-matrix cluster deck, recorded as the \"cluster\" run")
 	if err := fs.Parse(rest); err != nil {
 		return err
 	}
@@ -194,12 +197,15 @@ func run(args []string) error {
 			out:      lgOut,
 			strict:   *lgStrict,
 			wait:     *lgWait,
+			cluster:  *lgCluster,
 		}))
 	case "serve":
 		return serve(serveConfig{
 			addr:           *addr,
 			scale:          *scale,
-			workers:        *workers,
+			workersFlag:    *workersFlag,
+			coordinator:    *coordinator,
+			workersFile:    *workersFile,
 			cacheEntries:   *cacheEntries,
 			readTimeout:    *readTimeout,
 			writeTimeout:   *writeTimeout,
@@ -541,6 +547,39 @@ func benchCmd(ctx context.Context, scale, iters int, jsonOut bool, out, backendI
 		Name: "parallel_speedup_csr", Iterations: iters * 100, NsPerOp: csrTmaxNs, Speedup: speedup,
 	})
 
+	// Partition-size exec benchmarks: warm RunExecInto on the same large
+	// sparse matrix at p = 64/128/256, CSR and SELL-C-σ. Partition size
+	// trades tile-dispatch overhead (small p, many tiles) against cache
+	// residency and padding (large p); these entries plus the best-p
+	// verdict line pin where that trade lands for the exec kernels.
+	execBestP := map[string]int{}
+	execBestNs := map[string]float64{}
+	for _, pf := range []struct {
+		name string
+		f    copernicus.Format
+	}{{"csr", copernicus.CSR}, {"sellcs", copernicus.SELLCS}} {
+		for _, p := range []int{64, 128, 256} {
+			pl, err := copernicus.NewStreamPlan(big, p)
+			if err != nil {
+				return err
+			}
+			if err := pl.RunExecInto(pf.f, x, &sr, 1); err != nil {
+				return err
+			}
+			res, err = measure(fmt.Sprintf("exec_partition_%s_p%d", pf.name, p), iters*10, 0, func() error {
+				return pl.RunExecInto(pf.f, x, &sr, 1)
+			})
+			if err != nil {
+				return err
+			}
+			rec.Benchmarks = append(rec.Benchmarks, res)
+			if best, ok := execBestNs[pf.name]; !ok || res.NsPerOp < best {
+				execBestNs[pf.name] = res.NsPerOp
+				execBestP[pf.name] = p
+			}
+		}
+	}
+
 	// CSR skip-list before/after: the exec CSR kernel walks an encode-time
 	// non-empty-row skip list instead of reading all p row offsets per
 	// tile. The full walk stays available as the bit-identical reference,
@@ -642,6 +681,8 @@ func benchCmd(ctx context.Context, scale, iters int, jsonOut bool, out, backendI
 	// only when the fan-out outruns that honest overhead; the verdict
 	// line states the comparison either way. On a one-core host there is
 	// no fan-out to measure and the assertion is reported as skipped.
+	fmt.Printf("exec_partition_best: csr p=%d (%.0f ns), sellcs p=%d (%.0f ns)\n",
+		execBestP["csr"], execBestNs["csr"], execBestP["sellcs"], execBestNs["sellcs"])
 	switch {
 	case maxT == 1:
 		fmt.Printf("parallel_csr_vs_runinto: skipped (GOMAXPROCS=1; exec t1 %.0f ns vs RunInto %.0f ns)\n",

@@ -7,10 +7,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"copernicus"
+	"copernicus/internal/cluster"
 	"copernicus/internal/service"
 )
 
@@ -20,8 +23,19 @@ import (
 type serveConfig struct {
 	addr         string
 	scale        int
-	workers      int
 	cacheEntries int
+
+	// workersFlag is the raw -workers value. Standalone it is the sweep
+	// worker-pool size ("4"); with -coordinator it is the fleet — a
+	// comma-separated host:port list dispatch shards over.
+	workersFlag string
+	// coordinator turns the server into a cluster coordinator: sweeps
+	// fan out over the fleet's HTTP API and merge back byte-identical
+	// to a single-node run.
+	coordinator bool
+	// workersFile names a static fleet config (one host:port per line,
+	// #-comments and blanks ignored), appended to workersFlag's list.
+	workersFile string
 
 	// readTimeout bounds reading an entire request (headers + body);
 	// it is the defense against slow-write clients holding connections
@@ -64,17 +78,37 @@ func (c serveConfig) withDefaults() serveConfig {
 // values disable the corresponding limit (net/http treats <= 0 as no
 // limit; the service interprets a negative requestTimeout the same
 // way).
-func buildServe(c serveConfig) (*service.Server, *http.Server) {
+func buildServe(c serveConfig) (*service.Server, *http.Server, error) {
 	c = c.withDefaults()
 	e := copernicus.NewEngine()
-	if c.workers > 0 {
-		e.SetWorkers(c.workers)
+	var co *cluster.Coordinator
+	if c.coordinator {
+		fleet, err := resolveFleet(c.workersFlag, c.workersFile)
+		if err != nil {
+			return nil, nil, err
+		}
+		co, err = cluster.New(cluster.Config{Workers: fleet})
+		if err != nil {
+			return nil, nil, fmt.Errorf("coordinator: %w", err)
+		}
+	} else {
+		if c.workersFile != "" {
+			return nil, nil, fmt.Errorf("-workers-file requires -coordinator")
+		}
+		if c.workersFlag != "" {
+			pool, err := strconv.Atoi(c.workersFlag)
+			if err != nil || pool < 1 {
+				return nil, nil, fmt.Errorf("-workers %q: want a worker-pool size (the host:port fleet form requires -coordinator)", c.workersFlag)
+			}
+			e.SetWorkers(pool)
+		}
 	}
 	svc := service.New(service.Options{
 		Engine:         e,
 		Scale:          c.scale,
 		CacheEntries:   c.cacheEntries,
 		RequestTimeout: c.requestTimeout,
+		Cluster:        co,
 	})
 	hs := &http.Server{
 		Addr:              c.addr,
@@ -85,7 +119,29 @@ func buildServe(c serveConfig) (*service.Server, *http.Server) {
 		IdleTimeout:       c.idleTimeout,
 		MaxHeaderBytes:    c.maxHeaderBytes,
 	}
-	return svc, hs
+	return svc, hs, nil
+}
+
+// resolveFleet merges the -workers host:port list with the
+// -workers-file static config into the coordinator's fleet.
+func resolveFleet(csv, file string) ([]string, error) {
+	var fleet []string
+	for _, w := range strings.Split(csv, ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			fleet = append(fleet, w)
+		}
+	}
+	if file != "" {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return nil, fmt.Errorf("-workers-file: %w", err)
+		}
+		fleet = append(fleet, cluster.ParseWorkersFile(data)...)
+	}
+	if len(fleet) == 0 {
+		return nil, fmt.Errorf("-coordinator needs a fleet: -workers host1:port,host2:port or -workers-file")
+	}
+	return fleet, nil
 }
 
 // serve runs the long-running characterization service: the HTTP/JSON
@@ -96,15 +152,23 @@ func buildServe(c serveConfig) (*service.Server, *http.Server) {
 // waiting for them to run to completion — and the HTTP listener then
 // drains the (now fast-unwinding) connections for up to ten seconds.
 func serve(c serveConfig) error {
-	svc, hs := buildServe(c)
+	svc, hs, err := buildServe(c)
+	if err != nil {
+		return err
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.ListenAndServe() }()
-	fmt.Printf("copernicus service on %s: %d built-in matrices (scale %d), %d workers\n",
-		c.addr, svc.Registry().Len(), c.scale, svc.Engine().Workers())
+	mode := fmt.Sprintf("%d workers", svc.Engine().Workers())
+	if c.coordinator {
+		fleet, _ := resolveFleet(c.workersFlag, c.workersFile)
+		mode = fmt.Sprintf("coordinator over %d-worker fleet", len(fleet))
+	}
+	fmt.Printf("copernicus service on %s: %d built-in matrices (scale %d), %s\n",
+		c.addr, svc.Registry().Len(), c.scale, mode)
 
 	select {
 	case err := <-errCh:

@@ -2,6 +2,7 @@ package main
 
 import (
 	"net/http/httptest"
+	"os"
 	"testing"
 	"time"
 )
@@ -10,7 +11,10 @@ import (
 // documented timeout defaults — and WriteTimeout stays 0 so NDJSON and
 // SSE streams are never cut at a wall-clock limit.
 func TestBuildServeDefaults(t *testing.T) {
-	svc, hs := buildServe(serveConfig{addr: "localhost:0", scale: 64})
+	svc, hs, err := buildServe(serveConfig{addr: "localhost:0", scale: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer svc.Shutdown()
 
 	if hs.ReadHeaderTimeout != 10*time.Second {
@@ -39,7 +43,7 @@ func TestBuildServeDefaults(t *testing.T) {
 // TestBuildServeOverrides: every limit is flag-tunable, and negative
 // values disable the corresponding limit.
 func TestBuildServeOverrides(t *testing.T) {
-	svc, hs := buildServe(serveConfig{
+	svc, hs, err := buildServe(serveConfig{
 		addr:           "localhost:0",
 		scale:          64,
 		readTimeout:    5 * time.Second,
@@ -47,6 +51,9 @@ func TestBuildServeOverrides(t *testing.T) {
 		idleTimeout:    11 * time.Second,
 		maxHeaderBytes: 4 << 10,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer svc.Shutdown()
 	if hs.ReadTimeout != 5*time.Second || hs.WriteTimeout != 7*time.Second ||
 		hs.IdleTimeout != 11*time.Second || hs.MaxHeaderBytes != 4<<10 {
@@ -54,7 +61,10 @@ func TestBuildServeOverrides(t *testing.T) {
 			hs.ReadTimeout, hs.WriteTimeout, hs.IdleTimeout, hs.MaxHeaderBytes)
 	}
 
-	svc2, hs2 := buildServe(serveConfig{addr: "localhost:0", scale: 64, readTimeout: -1, idleTimeout: -1})
+	svc2, hs2, err := buildServe(serveConfig{addr: "localhost:0", scale: 64, readTimeout: -1, idleTimeout: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer svc2.Shutdown()
 	if hs2.ReadTimeout >= 0 && hs2.ReadTimeout != -1 {
 		t.Fatalf("negative readTimeout should pass through: %v", hs2.ReadTimeout)
@@ -67,7 +77,10 @@ func TestBuildServeOverrides(t *testing.T) {
 // TestBuildServeServesRequests: the built handler answers over a real
 // listener — the hardened server is wired to the service, not a shell.
 func TestBuildServeServesRequests(t *testing.T) {
-	svc, hs := buildServe(serveConfig{addr: "localhost:0", scale: 64})
+	svc, hs, err := buildServe(serveConfig{addr: "localhost:0", scale: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer svc.Shutdown()
 	ts := httptest.NewServer(hs.Handler)
 	defer ts.Close()
@@ -94,5 +107,58 @@ func TestServeFlagsParse(t *testing.T) {
 	}
 	if err := run([]string{"serve", "-max-header-bytes", "x"}); err == nil {
 		t.Fatal("bad -max-header-bytes accepted")
+	}
+}
+
+// TestBuildServeCoordinator: -coordinator turns the -workers flag into
+// the fleet list (optionally merged with a -workers-file), and the
+// built server reports cluster stats; standalone, -workers stays the
+// pool-size integer and rejects a host list.
+func TestBuildServeCoordinator(t *testing.T) {
+	fleetFile := t.TempDir() + "/fleet"
+	if err := os.WriteFile(fleetFile, []byte("# fleet\nhost3:1003\n\nhost4:1004\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	svc, _, err := buildServe(serveConfig{
+		addr:        "localhost:0",
+		scale:       64,
+		coordinator: true,
+		workersFlag: "host1:1001,host2:1002",
+		workersFile: fleetFile,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Shutdown()
+
+	fleet, err := resolveFleet("host1:1001,host2:1002", fleetFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fleet) != 4 {
+		t.Fatalf("fleet = %v, want 4 workers (2 from flag, 2 from file)", fleet)
+	}
+
+	// Error paths: coordinator without a fleet, a fleet without
+	// -coordinator, a pool size that is not an integer.
+	if _, _, err := buildServe(serveConfig{addr: "localhost:0", scale: 64, coordinator: true}); err == nil {
+		t.Fatal("-coordinator with no fleet accepted")
+	}
+	if _, _, err := buildServe(serveConfig{addr: "localhost:0", scale: 64, workersFile: fleetFile}); err == nil {
+		t.Fatal("-workers-file without -coordinator accepted")
+	}
+	if _, _, err := buildServe(serveConfig{addr: "localhost:0", scale: 64, workersFlag: "host1:1001"}); err == nil {
+		t.Fatal("host list without -coordinator accepted")
+	}
+
+	// Standalone -workers still sizes the pool.
+	svc2, _, err := buildServe(serveConfig{addr: "localhost:0", scale: 64, workersFlag: "3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Shutdown()
+	if got := svc2.Engine().Workers(); got != 3 {
+		t.Fatalf("pool size = %d, want 3", got)
 	}
 }

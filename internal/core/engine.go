@@ -613,6 +613,42 @@ func (e *Engine) SweepGroupsWith(ctx context.Context, b backend.Backend, ws []wo
 	return e.SweepGroupsKernelsWith(ctx, b, ws, defaultSpecs, kinds, ps, yield)
 }
 
+// GroupExecutor executes one (workload, kernel, p) sweep group and
+// returns its results in format order. It is the seam between the
+// deterministic claim/merge machinery of SweepGroupsExecWith and the
+// place the group actually computes: the engine's own backend
+// (LocalExecutor) or a remote worker reached over the wire (the
+// cluster coordinator). Executors must be safe for concurrent calls
+// when Parallelizable reports true.
+type GroupExecutor interface {
+	ExecuteGroup(ctx context.Context, w workloads.Workload, sc scenario.Spec, p int, kinds []formats.Kind) ([]Result, error)
+	// Parallelizable reports whether groups may execute concurrently.
+	// Wall-clock-measuring local backends return false (contention
+	// corrupts timings); remote executors return true — contention is
+	// the owning worker's concern.
+	Parallelizable() bool
+}
+
+// localExecutor runs groups on the engine's own backend with panic
+// containment — the executor behind every single-node sweep.
+type localExecutor struct {
+	e *Engine
+	b backend.Backend
+}
+
+func (x localExecutor) ExecuteGroup(ctx context.Context, w workloads.Workload, sc scenario.Spec, p int, kinds []formats.Kind) ([]Result, error) {
+	return x.e.sweepGroupSafe(ctx, x.b, w.ID, w.M, sc, p, kinds)
+}
+
+func (x localExecutor) Parallelizable() bool { return x.b.Parallelizable() }
+
+// LocalExecutor returns the engine's own GroupExecutor under backend b
+// (nil selects the analytic default). Remote executors wrap this as
+// their fallback when every replica of a group is unreachable.
+func (e *Engine) LocalExecutor(b backend.Backend) GroupExecutor {
+	return localExecutor{e: e, b: defaultBackend(b)}
+}
+
 // SweepGroupsKernelsWith is the primitive under every sweep: yield
 // receives each completed (workload, kernel, p) group — results plus
 // compute timing — in deterministic order while later groups are still
@@ -622,7 +658,32 @@ func (e *Engine) SweepGroupsWith(ctx context.Context, b backend.Backend, ws []wo
 // byte-identical to their pre-PR output. It is the primitive under
 // SweepStream/Sweep and the job subsystem's progress feed.
 func (e *Engine) SweepGroupsKernelsWith(ctx context.Context, b backend.Backend, ws []workloads.Workload, specs []scenario.Spec, kinds []formats.Kind, ps []int, yield func(SweepGroup) error) error {
-	b = defaultBackend(b)
+	return e.SweepGroupsExecWith(ctx, e.LocalExecutor(b), ws, specs, kinds, ps, yield)
+}
+
+// SweepStreamExecWith is SweepStreamKernelsWith over an explicit
+// GroupExecutor: the emit-as-completed result stream with group
+// execution delegated — locally or across a cluster — while ordering
+// stays the deterministic workload-major order, so the concatenated
+// stream is byte-identical regardless of where groups ran.
+func (e *Engine) SweepStreamExecWith(ctx context.Context, exec GroupExecutor, ws []workloads.Workload, specs []scenario.Spec, kinds []formats.Kind, ps []int, yield func(Result) error) error {
+	return e.SweepGroupsExecWith(ctx, exec, ws, specs, kinds, ps, func(g SweepGroup) error {
+		for _, r := range g.Results {
+			if err := yield(r); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// SweepGroupsExecWith is SweepGroupsKernelsWith with group execution
+// delegated to exec: workers atomically claim group indices, run them
+// through the executor, and the emitter hands completed groups to yield
+// in index order. The claim/merge machinery — not the executor —
+// guarantees ordering, so any executor that returns deterministic
+// per-group results yields a byte-identical sweep.
+func (e *Engine) SweepGroupsExecWith(ctx context.Context, exec GroupExecutor, ws []workloads.Workload, specs []scenario.Spec, kinds []formats.Kind, ps []int, yield func(SweepGroup) error) error {
 	for _, sc := range specs {
 		if err := sc.Validate(); err != nil {
 			return fmt.Errorf("core: sweep: %w", err)
@@ -633,7 +694,7 @@ func (e *Engine) SweepGroupsKernelsWith(ctx context.Context, b backend.Backend, 
 		return ctx.Err()
 	}
 	workers := e.Workers()
-	if !b.Parallelizable() {
+	if !exec.Parallelizable() {
 		workers = 1
 	}
 	if workers > groups {
@@ -676,7 +737,7 @@ func (e *Engine) SweepGroupsKernelsWith(ctx context.Context, b backend.Backend, 
 				sc := specs[(g/len(ps))%len(specs)]
 				p := ps[g%len(ps)]
 				start := time.Now()
-				rs, err := e.sweepGroupSafe(ictx, b, w.ID, w.M, sc, p, kinds)
+				rs, err := exec.ExecuteGroup(ictx, w, sc, p, kinds)
 				outs[g] = groupOut{
 					g:   SweepGroup{Workload: w.ID, Kernel: sc.String(), P: p, Results: rs, Elapsed: time.Since(start)},
 					err: err,

@@ -29,6 +29,11 @@ const (
 	headerCached = "X-Copernicus-Cached"
 	headerRows   = "X-Copernicus-Rows"
 	headerJob    = "X-Copernicus-Job"
+	// Advise verdict metadata for columnar advise responses: the chosen
+	// format, the full ranking (comma-separated), and the sparsity class.
+	headerAdviseFormat  = "X-Copernicus-Advise-Format"
+	headerAdviseRanking = "X-Copernicus-Advise-Ranking"
+	headerAdviseClass   = "X-Copernicus-Advise-Class"
 )
 
 // wantsColumnar reports whether the request negotiated the columnar

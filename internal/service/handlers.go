@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"copernicus/internal/backend"
+	"copernicus/internal/cluster"
 	"copernicus/internal/core"
 	"copernicus/internal/faults"
 	"copernicus/internal/formats"
@@ -301,21 +302,46 @@ func queryThreads(raw string) (int, error) {
 // client-attributable 404, not a server fault.
 var errMatrixDeleted = errors.New("matrix deleted")
 
+// clusterInternal reports whether a request was dispatched by another
+// coordinator. Such requests always compute locally — the guard that
+// keeps a node listed in its own (or a peer coordinator's) worker list
+// from fanning out again in a loop.
+func clusterInternal(r *http.Request) bool {
+	return r.Header.Get(cluster.InternalHeader) != ""
+}
+
+// execFor selects the group executor for one sweep: on a coordinator,
+// external requests fan groups out to the fleet (with the engine as the
+// per-group fallback); coordinator-internal requests and plain servers
+// run the engine directly.
+func (s *Server) execFor(b backend.Backend, internal bool) core.GroupExecutor {
+	local := s.engine.LocalExecutor(b)
+	if s.cluster == nil || internal {
+		return local
+	}
+	threads := 0
+	if nb, ok := b.(*backend.Native); ok {
+		threads = nb.Threads
+	}
+	return s.cluster.Executor(b.ID(), threads, local)
+}
+
 // computeSweep is the engine half of every sweep path — synchronous,
 // streamed, and job alike: the streaming sweep over kinds × ps for one
-// matrix, with results optionally mirrored to onRow as groups complete,
-// followed by the first half of the delete-race discipline. A DELETE may
-// have raced the sweep (its DropPlansFor ran before the sweep
-// re-inserted the plans), so registration is re-checked before results
-// are considered valid; a deleted matrix is never re-pinned by the
-// engine (and errors are never cached).
-func (s *Server) computeSweep(ctx context.Context, info MatrixInfo, m *matrix.CSR, b backend.Backend, sc scenario.Spec, kinds []formats.Kind, ps []int, onRow func(core.Result)) ([]core.Result, error) {
+// matrix through the given group executor (local engine or cluster
+// fan-out), with results optionally mirrored to onRow as groups
+// complete, followed by the first half of the delete-race discipline. A
+// DELETE may have raced the sweep (its DropPlansFor ran before the
+// sweep re-inserted the plans), so registration is re-checked before
+// results are considered valid; a deleted matrix is never re-pinned by
+// the engine (and errors are never cached).
+func (s *Server) computeSweep(ctx context.Context, info MatrixInfo, m *matrix.CSR, exec core.GroupExecutor, sc scenario.Spec, kinds []formats.Kind, ps []int, onRow func(core.Result)) ([]core.Result, error) {
 	if err := ptServiceSweep.Hit(); err != nil {
 		return nil, err
 	}
 	ws := []workloads.Workload{{ID: info.ID, M: m}}
 	out := make([]core.Result, 0, len(kinds)*len(ps))
-	err := s.engine.SweepStreamKernelsWith(ctx, b, ws, []scenario.Spec{sc}, kinds, ps, func(r core.Result) error {
+	err := s.engine.SweepStreamExecWith(ctx, exec, ws, []scenario.Spec{sc}, kinds, ps, func(r core.Result) error {
 		out = append(out, r)
 		if onRow != nil {
 			onRow(r)
@@ -360,13 +386,13 @@ func (s *Server) sweepEpilogue(info MatrixInfo, m *matrix.CSR) error {
 // *leader's* compute produces it — the streaming path's incremental
 // feed. A caller that attached to another leader's flight (or hit the
 // cache) gets cached=true and must replay the returned slab itself.
-func (s *Server) runSweep(ctx context.Context, info MatrixInfo, b backend.Backend, sc scenario.Spec, kinds []formats.Kind, ps []int, onRow func(core.Result)) (*sweepEntry, bool, error) {
+func (s *Server) runSweep(ctx context.Context, info MatrixInfo, exec core.GroupExecutor, b backend.Backend, sc scenario.Spec, kinds []formats.Kind, ps []int, onRow func(core.Result)) (*sweepEntry, bool, error) {
 	_, m, ok := s.reg.Lookup(info.ID)
 	if !ok {
 		return nil, false, fmt.Errorf("matrix %q: %w", info.ID, errMatrixDeleted)
 	}
 	v, cached, err := s.cache.Do(ctx, sweepKey(info.ID, b, sc, kinds, ps), func(fctx context.Context) (any, error) {
-		rs, err := s.computeSweep(fctx, info, m, b, sc, kinds, ps, onRow)
+		rs, err := s.computeSweep(fctx, info, m, exec, sc, kinds, ps, onRow)
 		if err != nil {
 			return nil, err
 		}
@@ -596,15 +622,45 @@ func (s *Server) serveSweep(w http.ResponseWriter, r *http.Request, matrixID str
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	// cache=only answers from the sweep LRU or 404s — never computes.
+	// It is the peer-cache probe of the cluster fabric (a coordinator
+	// consulting a breaker-open worker as a pure cache tier), and a
+	// cheap cache interrogation for tooling.
+	switch mode := r.URL.Query().Get("cache"); mode {
+	case "":
+	case "only":
+		v, ok := s.cache.Get(sweepKey(info.ID, b, sc, kinds, ps))
+		if !ok {
+			writeErr(w, http.StatusNotFound, "cache miss")
+			return
+		}
+		s.noteBackend(b.ID(), true)
+		entry := v.(*sweepEntry)
+		if wantsColumnar(r) {
+			s.writeColumnar(w, entry, true, func(h http.Header) {
+				h.Set(headerMatrix, info.ID)
+			})
+			return
+		}
+		body := s.body(entry, bodyJSONSweep, &s.encJSON, func() []byte {
+			return marshalJSONBody(sweepEnvelope(info, true, entry.results))
+		})
+		s.writeBody(w, "application/json", &s.encJSON, body, nil)
+		return
+	default:
+		writeErr(w, http.StatusBadRequest, "bad cache mode %q (want \"only\")", mode)
+		return
+	}
 	ctx, cancel := s.computeCtx(r)
 	defer cancel()
+	exec := s.execFor(b, clusterInternal(r))
 	if wantsNDJSON(r) {
 		// Streaming keeps precedence over the columnar batch body: a
 		// client listing both asked for incremental delivery.
-		s.streamSweep(ctx, w, info, b, sc, kinds, ps)
+		s.streamSweep(ctx, w, info, exec, b, sc, kinds, ps)
 		return
 	}
-	entry, cached, err := s.runSweep(ctx, info, b, sc, kinds, ps, nil)
+	entry, cached, err := s.runSweep(ctx, info, exec, b, sc, kinds, ps, nil)
 	if err != nil {
 		writeErr(w, sweepStatus(err), "sweep: %v", err)
 		return
@@ -676,7 +732,7 @@ func wantsNDJSON(r *http.Request) bool {
 // it are still a valid prefix of the batch result set; a failure before
 // any row was written is reported with a proper HTTP status instead,
 // exactly like the batch form.
-func (s *Server) streamSweep(ctx context.Context, w http.ResponseWriter, info MatrixInfo, b backend.Backend, sc scenario.Spec, kinds []formats.Kind, ps []int) {
+func (s *Server) streamSweep(ctx context.Context, w http.ResponseWriter, info MatrixInfo, exec core.GroupExecutor, b backend.Backend, sc scenario.Spec, kinds []formats.Kind, ps []int) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
 	s.encNDJSON.responses.Add(1)
@@ -727,7 +783,7 @@ func (s *Server) streamSweep(ctx context.Context, w http.ResponseWriter, info Ma
 		return
 	}
 
-	entry, cached, err := s.runSweep(ctx, info, b, sc, kinds, ps, emit)
+	entry, cached, err := s.runSweep(ctx, info, exec, b, sc, kinds, ps, emit)
 	if err != nil {
 		if emitted == 0 {
 			// Nothing on the wire yet: a real status line (404/400/503)
@@ -795,7 +851,7 @@ func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.computeCtx(r)
 	defer cancel()
-	entry, cached, err := s.runSweep(ctx, info, b, sc, kinds, ps, nil)
+	entry, cached, err := s.runSweep(ctx, info, s.execFor(b, clusterInternal(r)), b, sc, kinds, ps, nil)
 	if err != nil {
 		writeErr(w, sweepStatus(err), "characterize: %v", err)
 		return
@@ -872,7 +928,7 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.computeCtx(r)
 	defer cancel()
-	entry, cached, err := s.runSweep(ctx, info, b, sc, formats.Sparse(), ps, nil)
+	entry, cached, err := s.runSweep(ctx, info, s.execFor(b, clusterInternal(r)), b, sc, formats.Sparse(), ps, nil)
 	if err != nil {
 		writeErr(w, sweepStatus(err), "advise: %v", err)
 		return
@@ -888,6 +944,25 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 	}
 	class := core.Classify(m)
 	static, _, why := core.StaticAdvice(class)
+	if wantsColumnar(r) {
+		// The advice's result rows as the raw columnar slab — the fattest
+		// part of the JSON envelope by far — with the verdict metadata in
+		// headers. Encoded per request: the ranked row order depends on
+		// the objective, which is not part of the sweep cache key.
+		start := time.Now()
+		body := wire.Encode(rec.Results)
+		s.encCol.encodes.Add(1)
+		s.encCol.encodeNs.Add(time.Since(start).Nanoseconds())
+		s.writeBody(w, wire.ContentType, &s.encCol, body, func(h http.Header) {
+			h.Set(headerMatrix, info.ID)
+			h.Set(headerCached, strconv.FormatBool(cached))
+			h.Set(headerRows, strconv.Itoa(len(rec.Results)))
+			h.Set(headerAdviseFormat, rec.Format.String())
+			h.Set(headerAdviseRanking, strings.Join(ranking, ","))
+			h.Set(headerAdviseClass, class.String())
+		})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"matrix":        info,
 		"p":             p,
@@ -904,7 +979,7 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	stats := map[string]any{
 		"uptime_s":     time.Since(s.start).Seconds(),
 		"matrices":     s.reg.Len(),
 		"workers":      s.engine.Workers(),
@@ -917,7 +992,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"jobs":           s.jobs.Stats(),
 			"native_measure": backend.NativeMeasureStats(),
 		},
-	})
+	}
+	if s.cluster != nil {
+		stats["cluster"] = s.cluster.Stats()
+	}
+	writeJSON(w, http.StatusOK, stats)
 }
 
 // queryInt parses an optional integer query parameter.

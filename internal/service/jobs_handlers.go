@@ -88,7 +88,10 @@ func (s *Server) sweepTask(info MatrixInfo, m *matrix.CSR, b backend.Backend, sc
 	return func(ctx context.Context, report func(int, jobs.GroupTiming)) (any, error) {
 		ws := []workloads.Workload{{ID: info.ID, M: m}}
 		collected := make([]core.Result, 0, len(kinds)*len(ps))
-		err := s.engine.SweepGroupsKernelsWith(ctx, b, ws, []scenario.Spec{sc}, kinds, ps, func(g core.SweepGroup) error {
+		// Jobs fan out like synchronous sweeps when this server fronts a
+		// cluster: the job API is never used for coordinator-internal
+		// dispatch, so there is no loop to guard against here.
+		err := s.engine.SweepGroupsExecWith(ctx, s.execFor(b, false), ws, []scenario.Spec{sc}, kinds, ps, func(g core.SweepGroup) error {
 			collected = append(collected, g.Results...)
 			report(len(g.Results), jobs.GroupTiming{
 				Workload: g.Workload,

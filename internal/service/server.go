@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"copernicus/internal/cluster"
 	"copernicus/internal/core"
 	"copernicus/internal/jobs"
 	"copernicus/internal/workloads"
@@ -49,6 +50,14 @@ type Options struct {
 	// never capped — they observe background work rather than hold
 	// compute.
 	RequestTimeout time.Duration
+	// Cluster, when non-nil, turns the server into a coordinator: cold
+	// sweep groups are fanned out to the fleet's owning workers over the
+	// columnar wire format (with replica re-dispatch and local fallback)
+	// instead of computing locally. New starts the coordinator's health
+	// prober and Shutdown closes it. Requests carrying the
+	// cluster-internal header always compute locally — the dispatch-loop
+	// guard.
+	Cluster *cluster.Coordinator
 }
 
 func (o Options) withDefaults() Options {
@@ -95,13 +104,14 @@ func (o Options) withDefaults() Options {
 // sweep API, and advisor, sharing one warm engine. Safe for concurrent
 // use; construct with New and mount Handler on an http.Server.
 type Server struct {
-	opts   Options
-	engine *core.Engine
-	reg    *Registry
-	cache  *resultCache
-	jobs   *jobs.Manager
-	mux    *http.ServeMux
-	start  time.Time
+	opts    Options
+	engine  *core.Engine
+	reg     *Registry
+	cache   *resultCache
+	jobs    *jobs.Manager
+	cluster *cluster.Coordinator // nil on plain (non-coordinator) servers
+	mux     *http.ServeMux
+	start   time.Time
 
 	// baseCtx is the server's lifetime context: Shutdown cancels it,
 	// which aborts every in-flight engine call (request contexts are
@@ -179,11 +189,15 @@ func New(o Options) *Server {
 		reg:     NewRegistry(),
 		cache:   newResultCache(o.CacheEntries),
 		jobs:    jobs.NewManager(baseCtx, o.JobWorkers, o.JobQueue),
+		cluster: o.Cluster,
 		mux:     http.NewServeMux(),
 		start:   time.Now(),
 		baseCtx: baseCtx,
 		stop:    stop,
 		bstats:  map[string]*BackendStats{},
+	}
+	if s.cluster != nil {
+		s.cluster.Start()
 	}
 	// Entries leaving the cache release their pre-encoded bodies from
 	// the resident-bytes gauge (called with the cache lock held; drop
@@ -288,6 +302,9 @@ func (s *Server) Jobs() *jobs.Manager { return s.jobs }
 func (s *Server) Shutdown() {
 	s.stop()
 	s.jobs.Wait()
+	if s.cluster != nil {
+		s.cluster.Close()
+	}
 }
 
 // reqCtx joins a request's context with the server's base context: the

@@ -225,6 +225,37 @@ func (r *reader) bytes(n int) ([]byte, error) {
 	return b, nil
 }
 
+// Rows peeks a slab's row count from its header without decoding the
+// columns or verifying the CRC — the cheap sanity check a cluster
+// coordinator runs on a worker's response before committing to a full
+// Decode. It validates only the magic, the version, and that the
+// declared count can fit in the payload; a slab that passes Rows can
+// still fail Decode's CRC and bounds checks.
+func Rows(data []byte) (int, error) {
+	if len(data) < len(magic)+3+4 {
+		return 0, fmt.Errorf("%w: %d bytes is shorter than the minimal slab", ErrCorrupt, len(data))
+	}
+	if [4]byte(data[:4]) != magic {
+		return 0, fmt.Errorf("%w: bad magic %q", ErrCorrupt, data[:4])
+	}
+	r := &reader{data: data[:len(data)-4], off: len(magic)}
+	version, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if version != Version {
+		return 0, fmt.Errorf("%w: unknown version %d (decoder knows %d)", ErrCorrupt, version, Version)
+	}
+	rows64, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if rows64 > uint64(len(data)-4)/minRowBytes {
+		return 0, fmt.Errorf("%w: %d rows cannot fit in %d bytes", ErrCorrupt, rows64, len(data)-4)
+	}
+	return int(rows64), nil
+}
+
 // Decode parses a version-1 columnar slab back into a result slab. It
 // verifies the CRC before parsing, bounds-checks every read, and never
 // panics on malformed input. A rows=0 slab decodes as nil.
